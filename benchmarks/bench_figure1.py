@@ -1,0 +1,27 @@
+"""Regenerate Figure 1: components of block-operation overhead."""
+
+from conftest import build_once
+
+from repro.analysis.figures import figure1
+from repro.analysis.report import render
+from repro.synthetic.workloads import WORKLOAD_ORDER
+
+
+def test_figure1(benchmark, runner, results_dir):
+    chart = build_once(benchmark, figure1, runner)
+    out = render(chart)
+    (results_dir / "figure1.txt").write_text(out + "\n")
+    print("\n" + out)
+
+    for workload in WORKLOAD_ORDER:
+        segs = chart.values[workload]["Base"]
+        # Normalized decomposition sums to one.
+        assert abs(sum(segs.values()) - 1.0) < 1e-9
+        # Read stall, write stall and instruction execution each carry a
+        # substantial share (paper: ~30 % each); displacement is the
+        # smallest (~10 %).
+        assert segs["Read Stall"] > 0.10
+        assert segs["Write Stall"] > 0.05
+        assert segs["Instr. Exec."] > 0.10
+        assert segs["Displ. Stall"] < max(segs["Read Stall"],
+                                          segs["Instr. Exec."])

@@ -1,0 +1,35 @@
+"""Regenerate Figure 4: normalized OS misses under coherence support."""
+
+from conftest import build_once
+
+from repro.analysis.figures import figure4
+from repro.analysis.report import render
+from repro.synthetic.workloads import WORKLOAD_ORDER
+
+
+def test_figure4(benchmark, runner, results_dir):
+    chart = build_once(benchmark, figure4, runner)
+    out = render(chart)
+    (results_dir / "figure4.txt").write_text(out + "\n")
+    print("\n" + out)
+
+    for workload in WORKLOAD_ORDER:
+        assert abs(chart.total(workload, "Base") - 1.0) < 1e-9
+        base_coh = chart.values[workload]["Base"]["Coh. Misses"]
+        reloc_coh = chart.values[workload]["BCoh_Reloc"]["Coh. Misses"]
+        relup_coh = chart.values[workload]["BCoh_RelUp"]["Coh. Misses"]
+        # Privatization/relocation trims coherence misses; the selective
+        # update protocol then removes most of what remains (paper:
+        # BCoh_RelUp eliminates most coherence misses).
+        assert reloc_coh <= base_coh + 1e-9
+        assert relup_coh < base_coh
+        assert relup_coh <= reloc_coh + 1e-9
+        # The combined system keeps beating plain Blk_Dma.
+        assert (chart.total(workload, "BCoh_RelUp")
+                <= chart.total(workload, "Blk_Dma") + 0.02)
+    # The update protocol's gain is largest where coherence misses are
+    # largest (the gang-scheduled workloads, not Shell).
+    gains = {w: (chart.values[w]["BCoh_Reloc"]["Coh. Misses"]
+                 - chart.values[w]["BCoh_RelUp"]["Coh. Misses"])
+             for w in WORKLOAD_ORDER}
+    assert max(gains, key=gains.get) != "Shell"

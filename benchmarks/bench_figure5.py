@@ -1,0 +1,26 @@
+"""Regenerate Figure 5: normalized OS misses with hot-spot prefetching."""
+
+from conftest import build_once
+
+from repro.analysis.figures import figure5
+from repro.analysis.report import render
+from repro.synthetic.workloads import WORKLOAD_ORDER
+
+
+def test_figure5(benchmark, runner, results_dir):
+    chart = build_once(benchmark, figure5, runner)
+    out = render(chart)
+    (results_dir / "figure5.txt").write_text(out + "\n")
+    print("\n" + out)
+
+    for workload in WORKLOAD_ORDER:
+        assert abs(chart.total(workload, "Base") - 1.0) < 1e-9
+        relup_hot = chart.values[workload]["BCoh_RelUp"]["Hot Spot Misses"]
+        bcpref_hot = chart.values[workload]["BCPref"]["Hot Spot Misses"]
+        # BCPref hides practically all hot-spot misses.
+        assert bcpref_hot < 0.5 * max(relup_hot, 1e-9)
+        # Few misses remain after the full stack (paper: 21-28 %).
+        assert chart.total(workload, "BCPref") < 0.6
+        # And BCPref never loses to BCoh_RelUp.
+        assert (chart.total(workload, "BCPref")
+                <= chart.total(workload, "BCoh_RelUp") + 1e-9)

@@ -1,0 +1,30 @@
+"""Regenerate Figure 7: OS execution time vs primary-cache line size."""
+
+from conftest import build_once
+
+from repro.analysis.figures import figure7
+from repro.analysis.report import render
+from repro.synthetic.workloads import WORKLOAD_ORDER
+
+
+def test_figure7(benchmark, runner, results_dir):
+    chart = build_once(benchmark, figure7, runner)
+    out = render(chart)
+    (results_dir / "figure7.txt").write_text(out + "\n")
+    print("\n" + out)
+
+    for line in chart.x_values:
+        dma_vals = []
+        full_vals = []
+        for workload in WORKLOAD_ORDER:
+            assert abs(chart.values[workload]["Base"][line] - 1.0) < 1e-9
+            dma_vals.append(chart.values[workload]["Blk_Dma"][line])
+            full_vals.append(chart.values[workload]["BCPref"][line])
+            # No point is meaningfully worse than Base (larger lines give
+            # Base free spatial locality, shrinking the margin).
+            assert chart.values[workload]["Blk_Dma"][line] < 1.03
+            assert chart.values[workload]["BCPref"][line] < 1.03
+        # On average the optimized systems win at every line size.
+        assert sum(dma_vals) / len(dma_vals) < 1.0
+        assert sum(full_vals) / len(full_vals) < sum(dma_vals) / len(dma_vals) + 0.02
+        assert sum(full_vals) / len(full_vals) < 0.97

@@ -1,0 +1,30 @@
+"""Regenerate Table 1: characteristics of the workloads studied."""
+
+from conftest import build_once
+
+from repro.analysis.report import render
+from repro.analysis.tables import table1
+from repro.synthetic.workloads import WORKLOAD_ORDER
+
+
+def test_table1(benchmark, runner, results_dir):
+    table = build_once(benchmark, table1, runner)
+    out = render(table)
+    (results_dir / "table1.txt").write_text(out + "\n")
+    print("\n" + out)
+
+    for workload in WORKLOAD_ORDER:
+        # The workloads are system intensive: the OS gets a large share
+        # of time, of data reads and of data misses (paper: 42-54 %,
+        # 40-61 %, 53-69 %).
+        assert table.cell("OS Time (%)", workload) > 30
+        assert table.cell("OS D-Reads / Total D-Reads (%)", workload) > 25
+        assert table.cell("OS D-Misses / Total D-Misses (%)", workload) > 40
+        # Time shares are a partition.
+        total = (table.cell("User Time (%)", workload)
+                 + table.cell("Idle Time (%)", workload)
+                 + table.cell("OS Time (%)", workload))
+        assert abs(total - 100.0) < 0.5
+    # Shell is the most idle workload (29.2 % in the paper).
+    idles = table.row("Idle Time (%)")
+    assert max(idles) == idles[WORKLOAD_ORDER.index("Shell")]

@@ -1,0 +1,30 @@
+"""Regenerate Table 5: breakdown of OS coherence misses."""
+
+from conftest import build_once
+
+from repro.analysis.report import render
+from repro.analysis.tables import table5
+from repro.synthetic.workloads import WORKLOAD_ORDER
+
+
+def test_table5(benchmark, runner, results_dir):
+    table = build_once(benchmark, table5, runner)
+    out = render(table)
+    (results_dir / "table5.txt").write_text(out + "\n")
+    print("\n" + out)
+
+    for workload in WORKLOAD_ORDER:
+        total = sum(table.cell(row, workload) for row in
+                    ("Barriers (%)", "Infreq. Com. (%)", "Freq. Shared (%)",
+                     "Locks (%)", "Other (%)"))
+        assert abs(total - 100.0) < 0.5
+    barriers = table.row("Barriers (%)")
+    shell = WORKLOAD_ORDER.index("Shell")
+    # Shell runs serial jobs: almost no barrier synchronization
+    # (paper: 4.8 % vs 35-46 % for the gang-scheduled mixes).
+    assert barriers[shell] < 10
+    for workload in ("TRFD_4", "TRFD+Make", "ARC2D+Fsck"):
+        assert table.cell("Barriers (%)", workload) > barriers[shell]
+    # Infrequently-communicated counters matter everywhere (paper: 20-26 %).
+    for workload in WORKLOAD_ORDER:
+        assert table.cell("Infreq. Com. (%)", workload) > 5

@@ -1,0 +1,43 @@
+"""Shared fixtures for the benchmark harness.
+
+One session-scoped :class:`ExperimentRunner` is shared by every benchmark
+so each trace, transform and simulation is produced once; the benchmarks
+then measure (and regenerate) each table/figure build on top of it.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` — workload length multiplier (default 0.2; use
+  0.5+ for numbers closer to the calibrated operating point).
+* ``REPRO_BENCH_SEED`` — workload seed (default 1996).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+
+#: Default scale keeps the full harness to a few minutes.
+DEFAULT_SCALE = 0.2
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", DEFAULT_SCALE))
+    seed = int(os.environ.get("REPRO_BENCH_SEED", 1996))
+    return ExperimentRunner(scale=scale, seed=seed)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    path = pathlib.Path(__file__).resolve().parent.parent / "results"
+    path.mkdir(exist_ok=True)
+    return path
+
+
+def build_once(benchmark, builder, runner):
+    """Run *builder(runner)* once under the benchmark timer."""
+    return benchmark.pedantic(builder, args=(runner,), rounds=1, iterations=1)

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The pyproject.toml carries all metadata; this file exists so that
+``pip install -e .`` (and ``python setup.py develop``) work on
+environments whose setuptools predates reliable PEP 660 editable
+installs without the ``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

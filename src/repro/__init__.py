@@ -1,0 +1,34 @@
+"""repro — reproduction of Xia & Torrellas, "Improving the Data Cache
+Performance of Multiprocessor Operating Systems" (HPCA 1996).
+
+Public API tour:
+
+* :mod:`repro.synthetic` — generate the four system-intensive workload
+  traces (``generate("TRFD_4")`` ...).
+* :mod:`repro.sim` — simulate a trace on a configured machine
+  (``simulate(trace, standard_configs()["Blk_Dma"])``).
+* :mod:`repro.optim` — the paper's software optimizations as trace
+  transformations and analyses.
+* :mod:`repro.analysis` — builders for every table and figure.
+* :mod:`repro.experiments` — the cached experiment runner and the
+  regenerate-everything driver (``python -m repro.experiments.all``).
+"""
+
+from repro.common import BASE_MACHINE, MachineParams, Mode, Scheme
+from repro.sim import SystemConfig, simulate, standard_configs
+from repro.synthetic import WORKLOAD_ORDER, generate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BASE_MACHINE",
+    "MachineParams",
+    "Mode",
+    "Scheme",
+    "SystemConfig",
+    "WORKLOAD_ORDER",
+    "__version__",
+    "generate",
+    "simulate",
+    "standard_configs",
+]

@@ -1,0 +1,91 @@
+"""Measurement analysis: table and figure builders, text rendering."""
+
+from repro.analysis.figures import (
+    ALL_FIGURES,
+    BarChart,
+    LineChart,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+)
+from repro.analysis import targets
+from repro.analysis.ascii_charts import (
+    ascii_bar_chart,
+    ascii_line_chart,
+    ascii_render,
+)
+from repro.analysis.attribution import (
+    attribution_report,
+    hotspot_kinds,
+    misses_by_block,
+    misses_by_structure,
+)
+from repro.analysis.compare import (
+    CellComparison,
+    ComparisonReport,
+    calibration_report,
+    compare_tables,
+    render_comparison,
+)
+from repro.analysis.model import BlockOpInputs, BlockOpModel
+from repro.analysis.report import (
+    render,
+    render_bar_chart,
+    render_line_chart,
+    render_table,
+)
+from repro.analysis.tracestats import SharingProfile, TraceStats
+from repro.analysis.tables import (
+    ALL_TABLES,
+    TableData,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+
+__all__ = [
+    "ALL_FIGURES",
+    "ALL_TABLES",
+    "BarChart",
+    "LineChart",
+    "SharingProfile",
+    "TableData",
+    "TraceStats",
+    "BlockOpInputs",
+    "BlockOpModel",
+    "CellComparison",
+    "ComparisonReport",
+    "ascii_bar_chart",
+    "ascii_line_chart",
+    "ascii_render",
+    "attribution_report",
+    "calibration_report",
+    "compare_tables",
+    "hotspot_kinds",
+    "misses_by_block",
+    "misses_by_structure",
+    "render_comparison",
+    "targets",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "render",
+    "render_bar_chart",
+    "render_line_chart",
+    "render_table",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+]

@@ -1,0 +1,82 @@
+"""ASCII rendering of the paper's figures for the terminal.
+
+The numeric renderers in :mod:`repro.analysis.report` print the series;
+these draw them — stacked horizontal bars for the bar figures and small
+multi-series line plots for the geometry sweeps — so a terminal session
+can eyeball the same shapes the paper's charts show.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.figures import BarChart, LineChart
+
+#: Fill characters for up to six stacked segments.
+SEGMENT_GLYPHS = "#=+:.o"
+
+
+def ascii_bar_chart(chart: BarChart, width: int = 50) -> str:
+    """Stacked horizontal bars, one block per workload.
+
+    Bars are scaled so the longest bar in each workload block spans
+    *width* characters; each segment uses its own glyph, mapped in the
+    legend line.
+    """
+    lines: List[str] = [chart.title, ""]
+    legend = "  ".join(f"{glyph}={seg}" for glyph, seg
+                       in zip(SEGMENT_GLYPHS, chart.segments))
+    lines.append(f"legend: {legend}")
+    lines.append("")
+    sys_width = max(len(s) for s in chart.systems) + 2
+    for workload in chart.workloads:
+        lines.append(f"[{workload}]")
+        peak = max(chart.total(workload, s) for s in chart.systems) or 1.0
+        for system in chart.systems:
+            bar = []
+            for glyph, segment in zip(SEGMENT_GLYPHS, chart.segments):
+                value = chart.values[workload][system][segment]
+                bar.append(glyph * round(width * value / peak))
+            total = chart.total(workload, system)
+            lines.append(f"{system:<{sys_width}}|{''.join(bar):<{width}}| "
+                         f"{total:.2f}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def ascii_line_chart(chart: LineChart, width: int = 46,
+                     height: int = 10) -> str:
+    """Small multi-series plot per workload (y: normalized time)."""
+    lines: List[str] = [chart.title, ""]
+    markers = "BDX*"
+    legend = "  ".join(f"{m}={s}" for m, s in zip(markers, chart.systems))
+    lines.append(f"legend: {legend}   (x: {chart.x_label})")
+    for workload in chart.workloads:
+        values = [chart.values[workload][s][x]
+                  for s in chart.systems for x in chart.x_values]
+        lo, hi = min(values), max(values)
+        if hi - lo < 1e-9:
+            hi = lo + 1e-9
+        span = hi - lo
+        grid = [[" "] * width for _ in range(height)]
+        for si, system in enumerate(chart.systems):
+            for xi, x in enumerate(chart.x_values):
+                col = round(xi * (width - 1) / max(1, len(chart.x_values) - 1))
+                value = chart.values[workload][system][x]
+                row = round((hi - value) / span * (height - 1))
+                grid[row][col] = markers[si % len(markers)]
+        lines.append(f"\n[{workload}]  y: {lo:.3f}..{hi:.3f}")
+        for row in grid:
+            lines.append("  |" + "".join(row) + "|")
+        ticks = "  ".join(str(x) for x in chart.x_values)
+        lines.append(f"   x: {ticks}")
+    return "\n".join(lines)
+
+
+def ascii_render(artifact, **kwargs) -> str:
+    """Draw any figure artifact as ASCII art."""
+    if isinstance(artifact, BarChart):
+        return ascii_bar_chart(artifact, **kwargs)
+    if isinstance(artifact, LineChart):
+        return ascii_line_chart(artifact, **kwargs)
+    raise TypeError(f"cannot draw {type(artifact).__name__}")

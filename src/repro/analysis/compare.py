@@ -1,0 +1,128 @@
+"""Programmatic paper-vs-measured comparison.
+
+Builds the measured Tables 1-5 with the regular pipeline, lines every
+cell up against the paper's published value
+(:mod:`repro.analysis.targets`), and scores the agreement.  This is the
+machinery behind ``repro calibrate`` and the summary tables of
+EXPERIMENTS.md.
+
+Agreement is scored per cell as the ratio ``measured / paper`` (cells
+where the paper reports ~0 are compared by absolute difference instead),
+and summarized as the fraction of cells within a factor band.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.analysis import tables as table_builders
+from repro.analysis import targets
+from repro.experiments.runner import ExperimentRunner
+
+
+@dataclasses.dataclass(frozen=True)
+class CellComparison:
+    """One (table, row, workload) cell, paper vs measured."""
+
+    table: str
+    row: str
+    workload: str
+    paper: float
+    measured: float
+
+    #: Paper values below this are compared absolutely, not by ratio.
+    SMALL: float = 2.0
+
+    @property
+    def ratio(self) -> Optional[float]:
+        if self.paper < self.SMALL:
+            return None
+        return self.measured / self.paper
+
+    def within(self, factor: float, small_abs: float = 5.0) -> bool:
+        """Is the measured cell within *factor* of the paper's value?
+
+        Near-zero paper cells pass when the measured value stays within
+        *small_abs* percentage points.
+        """
+        if self.ratio is None:
+            return abs(self.measured - self.paper) <= small_abs
+        return 1.0 / factor <= self.ratio <= factor
+
+
+@dataclasses.dataclass
+class ComparisonReport:
+    """All cell comparisons of one run."""
+
+    cells: List[CellComparison]
+
+    def agreement(self, factor: float = 2.0) -> float:
+        """Fraction of cells within *factor* of the paper."""
+        if not self.cells:
+            return 0.0
+        return sum(c.within(factor) for c in self.cells) / len(self.cells)
+
+    def worst(self, count: int = 5) -> List[CellComparison]:
+        """Cells with the largest ratio deviation."""
+        def badness(cell: CellComparison) -> float:
+            if cell.ratio is None:
+                return abs(cell.measured - cell.paper) / 10.0
+            return max(cell.ratio, 1.0 / cell.ratio) if cell.ratio > 0 else 99.0
+        return sorted(self.cells, key=badness, reverse=True)[:count]
+
+    def for_table(self, table: str) -> List[CellComparison]:
+        return [c for c in self.cells if c.table == table]
+
+
+def compare_tables(runner: ExperimentRunner,
+                   which: Optional[List[str]] = None) -> ComparisonReport:
+    """Build the measured tables and compare every cell with the paper."""
+    cells: List[CellComparison] = []
+    for name in (which or list(targets.ALL_TABLES)):
+        builder = table_builders.ALL_TABLES[name]
+        measured = builder(runner)
+        for row, workload, paper in targets.as_pairs(name):
+            cells.append(CellComparison(
+                table=name, row=row, workload=workload, paper=paper,
+                measured=measured.cell(row, workload)))
+    return ComparisonReport(cells)
+
+
+def render_comparison(report: ComparisonReport, factor: float = 2.0) -> str:
+    """Aligned-text rendering: every cell as ``measured/paper``."""
+    lines: List[str] = []
+    for name in targets.ALL_TABLES:
+        cells = report.for_table(name)
+        if not cells:
+            continue
+        lines.append(f"### {name}")
+        rows: Dict[str, List[CellComparison]] = {}
+        for cell in cells:
+            rows.setdefault(cell.row, []).append(cell)
+        row_w = max(len(r) for r in rows) + 2
+        header = (" " * row_w
+                  + "".join(f"{w:>16}" for w in targets.WORKLOADS))
+        lines.append(header)
+        for row, row_cells in rows.items():
+            by_wl = {c.workload: c for c in row_cells}
+            body = "".join(
+                f"{by_wl[w].measured:>8.1f}/{by_wl[w].paper:<7.1f}"
+                for w in targets.WORKLOADS)
+            lines.append(f"{row[:row_w - 2]:<{row_w}}{body}")
+        lines.append("")
+    lines.append(f"agreement within {factor:.1f}x: "
+                 f"{report.agreement(factor):.0%} of cells")
+    worst = report.worst(5)
+    lines.append("largest deviations:")
+    for cell in worst:
+        lines.append(f"  {cell.table} / {cell.row} / {cell.workload}: "
+                     f"measured {cell.measured:.1f} vs paper {cell.paper:.1f}")
+    return "\n".join(lines)
+
+
+def calibration_report(scale: float = 0.5, seed: int = 1996,
+                       which: Optional[List[str]] = None) -> str:
+    """Convenience wrapper: run, compare, render."""
+    runner = ExperimentRunner(scale=scale, seed=seed)
+    return render_comparison(compare_tables(runner, which))

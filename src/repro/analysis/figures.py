@@ -1,0 +1,213 @@
+"""Builders for Figures 1-7 of the paper.
+
+Bar figures are represented as :class:`BarChart` (stacked, normalized
+bars per workload x system) and the cache-geometry sweeps of Figures 6-7
+as :class:`LineChart` (normalized OS execution time per geometry point).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.common.params import BASE_MACHINE
+from repro.common.types import MissKind
+from repro.common.units import KB
+from repro.experiments.runner import ExperimentRunner
+from repro.sim.metrics import SystemMetrics
+from repro.synthetic.workloads import WORKLOAD_ORDER
+
+#: Systems shown in Figure 2 (block-operation schemes).
+FIG2_SYSTEMS = ["Base", "Blk_Pref", "Blk_Bypass", "Blk_ByPref", "Blk_Dma"]
+#: Systems shown in Figure 3 (all eight).
+FIG3_SYSTEMS = ["Base", "Blk_Pref", "Blk_Bypass", "Blk_ByPref", "Blk_Dma",
+                "BCoh_Reloc", "BCoh_RelUp", "BCPref"]
+#: Systems shown in Figure 4 (coherence optimizations).
+FIG4_SYSTEMS = ["Base", "Blk_Dma", "BCoh_Reloc", "BCoh_RelUp"]
+#: Systems shown in Figure 5 (hot-spot prefetching).
+FIG5_SYSTEMS = ["Base", "Blk_Dma", "BCoh_RelUp", "BCPref"]
+#: Systems shown in Figures 6 and 7 (geometry sweeps).
+SWEEP_SYSTEMS = ["Base", "Blk_Dma", "BCPref"]
+
+
+class BarChart:
+    """Stacked normalized bars: values[workload][system][segment]."""
+
+    def __init__(self, name: str, title: str, workloads: Sequence[str],
+                 systems: Sequence[str], segments: Sequence[str]) -> None:
+        self.name = name
+        self.title = title
+        self.workloads = list(workloads)
+        self.systems = list(systems)
+        self.segments = list(segments)
+        self.values: Dict[str, Dict[str, Dict[str, float]]] = {
+            w: {s: {seg: 0.0 for seg in segments} for s in systems}
+            for w in workloads}
+
+    def set(self, workload: str, system: str, segment: str,
+            value: float) -> None:
+        self.values[workload][system][segment] = value
+
+    def total(self, workload: str, system: str) -> float:
+        return sum(self.values[workload][system].values())
+
+
+class LineChart:
+    """Line series: values[workload][system][x]."""
+
+    def __init__(self, name: str, title: str, workloads: Sequence[str],
+                 systems: Sequence[str], x_values: Sequence[int],
+                 x_label: str) -> None:
+        self.name = name
+        self.title = title
+        self.workloads = list(workloads)
+        self.systems = list(systems)
+        self.x_values = list(x_values)
+        self.x_label = x_label
+        self.values: Dict[str, Dict[str, Dict[int, float]]] = {
+            w: {s: {} for s in systems} for w in workloads}
+
+    def set(self, workload: str, system: str, x: int, value: float) -> None:
+        self.values[workload][system][x] = value
+
+
+def figure1(runner: ExperimentRunner) -> BarChart:
+    """Figure 1: components of block-operation overhead (Base machine)."""
+    segments = ["Read Stall", "Write Stall", "Displ. Stall", "Instr. Exec."]
+    chart = BarChart("figure1",
+                     "Components of block-operation overhead (normalized)",
+                     WORKLOAD_ORDER, ["Base"], segments)
+    for workload in WORKLOAD_ORDER:
+        m = runner.run(workload, "Base")
+        raw = [m.blk_read_stall, m.blk_write_stall, m.blk_displ_stall,
+               m.blk_instr_exec]
+        total = sum(raw) or 1
+        for segment, value in zip(segments, raw):
+            chart.set(workload, "Base", segment, value / total)
+    return chart
+
+
+def _miss_split(m: SystemMetrics, kind: MissKind) -> Dict[str, int]:
+    picked = m.os_miss_kind.get(kind, 0)
+    return {"picked": picked, "other": m.os_read_misses() - picked}
+
+
+def figure2(runner: ExperimentRunner) -> BarChart:
+    """Figure 2: normalized OS read misses under block-op schemes."""
+    chart = BarChart("figure2",
+                     "Normalized OS data misses under block-op support",
+                     WORKLOAD_ORDER, FIG2_SYSTEMS,
+                     ["Block Read Misses", "Other Read Misses"])
+    for workload in WORKLOAD_ORDER:
+        base = max(1, runner.run(workload, "Base").os_read_misses())
+        for system in FIG2_SYSTEMS:
+            m = runner.run(workload, system)
+            split = _miss_split(m, MissKind.BLOCK_OP)
+            chart.set(workload, system, "Block Read Misses",
+                      split["picked"] / base)
+            chart.set(workload, system, "Other Read Misses",
+                      split["other"] / base)
+    return chart
+
+
+FIG3_SEGMENTS = ["Exec", "I Miss", "D Write", "D Read Miss", "Pref"]
+
+
+def figure3(runner: ExperimentRunner) -> BarChart:
+    """Figure 3: normalized OS execution time under all systems."""
+    chart = BarChart("figure3", "Normalized OS execution time",
+                     WORKLOAD_ORDER, FIG3_SYSTEMS, FIG3_SEGMENTS)
+    for workload in WORKLOAD_ORDER:
+        base_total = max(1, runner.run(workload, "Base").os_time().total)
+        for system in FIG3_SYSTEMS:
+            tb = runner.run(workload, system).os_time()
+            chart.set(workload, system, "Exec",
+                      (tb.exec_cycles + tb.sync) / base_total)
+            chart.set(workload, system, "I Miss", tb.imiss / base_total)
+            chart.set(workload, system, "D Write", tb.dwrite / base_total)
+            chart.set(workload, system, "D Read Miss", tb.dread / base_total)
+            chart.set(workload, system, "Pref", tb.pref / base_total)
+    return chart
+
+
+def figure4(runner: ExperimentRunner) -> BarChart:
+    """Figure 4: normalized OS misses under coherence optimizations."""
+    chart = BarChart("figure4",
+                     "Normalized OS data misses under coherence support",
+                     WORKLOAD_ORDER, FIG4_SYSTEMS,
+                     ["Coh. Misses", "Other Misses"])
+    for workload in WORKLOAD_ORDER:
+        base = max(1, runner.run(workload, "Base").os_read_misses())
+        for system in FIG4_SYSTEMS:
+            m = runner.run(workload, system)
+            split = _miss_split(m, MissKind.COHERENCE)
+            chart.set(workload, system, "Coh. Misses", split["picked"] / base)
+            chart.set(workload, system, "Other Misses", split["other"] / base)
+    return chart
+
+
+def figure5(runner: ExperimentRunner) -> BarChart:
+    """Figure 5: normalized OS misses with hot-spot prefetching."""
+    chart = BarChart("figure5",
+                     "Normalized OS data misses with hot-spot prefetching",
+                     WORKLOAD_ORDER, FIG5_SYSTEMS,
+                     ["Hot Spot Misses", "Other Misses"])
+    for workload in WORKLOAD_ORDER:
+        base = max(1, runner.run(workload, "Base").os_read_misses())
+        hot_pcs = set(runner.hotspots(workload))
+        for system in FIG5_SYSTEMS:
+            m = runner.run(workload, system)
+            hot = sum(count for pc, count in m.os_miss_pc.items()
+                      if pc in hot_pcs)
+            chart.set(workload, system, "Hot Spot Misses", hot / base)
+            chart.set(workload, system, "Other Misses",
+                      (m.os_read_misses() - hot) / base)
+    return chart
+
+
+def figure6(runner: ExperimentRunner,
+            sizes_kb: Sequence[int] = (16, 32, 64)) -> LineChart:
+    """Figure 6: normalized OS time vs primary data cache size."""
+    chart = LineChart("figure6",
+                      "Normalized OS execution time vs L1D size",
+                      WORKLOAD_ORDER, SWEEP_SYSTEMS, list(sizes_kb),
+                      "Cache Size (KB)")
+    for size_kb in sizes_kb:
+        machine = BASE_MACHINE.with_l1d(size_bytes=size_kb * KB)
+        for workload in WORKLOAD_ORDER:
+            base = max(1, runner.run(workload, "Base",
+                                     machine=machine).os_time().total)
+            for system in SWEEP_SYSTEMS:
+                total = runner.run(workload, system,
+                                   machine=machine).os_time().total
+                chart.set(workload, system, size_kb, total / base)
+    return chart
+
+
+def figure7(runner: ExperimentRunner,
+            line_sizes: Sequence[int] = (16, 32, 64)) -> LineChart:
+    """Figure 7: normalized OS time vs L1D line size (64-B L2 lines)."""
+    chart = LineChart("figure7",
+                      "Normalized OS execution time vs L1D line size",
+                      WORKLOAD_ORDER, SWEEP_SYSTEMS, list(line_sizes),
+                      "Line Size (Bytes)")
+    for line in line_sizes:
+        machine = BASE_MACHINE.with_l1d(line_bytes=line, l2_line_bytes=64)
+        for workload in WORKLOAD_ORDER:
+            base = max(1, runner.run(workload, "Base",
+                                     machine=machine).os_time().total)
+            for system in SWEEP_SYSTEMS:
+                total = runner.run(workload, system,
+                                   machine=machine).os_time().total
+                chart.set(workload, system, line, total / base)
+    return chart
+
+
+ALL_FIGURES = {
+    "figure1": figure1,
+    "figure2": figure2,
+    "figure3": figure3,
+    "figure4": figure4,
+    "figure5": figure5,
+    "figure6": figure6,
+    "figure7": figure7,
+}

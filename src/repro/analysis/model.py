@@ -1,0 +1,128 @@
+"""Closed-form performance models for block operations.
+
+Section 4.1 of the paper reasons about block-operation overheads from
+first principles — how many source lines miss, how many destination
+writes need the bus, how long a DMA transfer takes.  This module encodes
+that arithmetic so the simulator can be sanity-checked against it (and
+so users can answer "when does Blk_Dma win?" without running a
+simulation).
+
+The models deliberately ignore contention: they are uncontended lower
+bounds, which is exactly how the paper uses such numbers.  The tests in
+``tests/test_model.py`` verify that single-operation simulations land
+within a modest factor of the predictions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.common.params import BASE_MACHINE, MachineParams
+from repro.common.units import ceil_div
+
+
+@dataclasses.dataclass(frozen=True)
+class BlockOpInputs:
+    """What the model needs to know about one block copy.
+
+    The fractions correspond to Table 3 rows 1-2.
+    """
+
+    size_bytes: int
+    #: Fraction of source L1 lines already cached (Table 3 row 1).
+    src_cached: float = 0.0
+    #: Fraction of destination L2 lines already owned (Table 3 row 2).
+    dst_owned: float = 0.0
+    #: Instructions executed per copied word (load+store+loop overhead).
+    instrs_per_word: int = 3
+    #: True for a copy; False for a zero-fill (no source reads).
+    is_copy: bool = True
+
+
+class BlockOpModel:
+    """Uncontended cost model for one block operation."""
+
+    def __init__(self, machine: MachineParams = BASE_MACHINE) -> None:
+        self.machine = machine
+
+    # -- component predictions (CPU cycles) ----------------------------
+    def src_read_misses(self, op: BlockOpInputs) -> int:
+        """Expected L1D read misses while reading the source block."""
+        if not op.is_copy:
+            return 0
+        lines = ceil_div(op.size_bytes, self.machine.l1d.line_bytes)
+        return round(lines * (1.0 - op.src_cached))
+
+    def read_stall_cycles(self, op: BlockOpInputs) -> int:
+        """Processor stall on source-read misses (uncontended).
+
+        Missing L1 lines come in pairs from one L2 line fetch: the first
+        sub-line pays the memory latency, the second hits the L2.
+        """
+        misses = self.src_read_misses(op)
+        per_l2 = self.machine.l2.line_bytes // self.machine.l1d.line_bytes
+        mem_fetches = ceil_div(misses, per_l2)
+        l2_hits = misses - mem_fetches
+        return (mem_fetches * (self.machine.memory_read_cycles - 1)
+                + l2_hits * (self.machine.l2_hit_cycles - 1))
+
+    def write_bus_cycles(self, op: BlockOpInputs) -> int:
+        """Bus occupancy needed to gain ownership of the destination."""
+        l2_lines = ceil_div(op.size_bytes, self.machine.l2.line_bytes)
+        missing = round(l2_lines * (1.0 - op.dst_owned))
+        # Each missing line costs a read-for-ownership request + transfer.
+        bus = self.machine.bus
+        per_line = bus.request_cycles + bus.line_transfer_cycles(
+            self.machine.l2.line_bytes)
+        return missing * per_line
+
+    def instruction_cycles(self, op: BlockOpInputs) -> int:
+        """Instruction-execution cycles of the copy/zero loop."""
+        words = ceil_div(op.size_bytes, 4)
+        per_word = op.instrs_per_word + (2 if op.is_copy else 1)
+        return words * per_word
+
+    def base_cycles(self, op: BlockOpInputs) -> int:
+        """Uncontended Base-machine cost of the operation.
+
+        Write stalls are bounded by the bus work but overlap execution
+        through the buffers; following the paper's Figure 1 proportions
+        we charge half the write bus work as exposed stall.
+        """
+        return (self.instruction_cycles(op)
+                + self.read_stall_cycles(op)
+                + self.write_bus_cycles(op) // 2)
+
+    def dma_cycles(self, op: BlockOpInputs) -> int:
+        """Blk_Dma engine time: startup plus the pipelined transfer."""
+        dma = self.machine.dma
+        beats = ceil_div(op.size_bytes, dma.bytes_per_beat)
+        return (dma.startup_cycles
+                + beats * dma.bus_cycles_per_beat
+                * self.machine.bus.cpu_cycles_per_bus_cycle)
+
+    def dma_speedup(self, op: BlockOpInputs) -> float:
+        """Predicted Base/DMA time ratio for the operation itself."""
+        return self.base_cycles(op) / max(1, self.dma_cycles(op))
+
+    def dma_break_even_src_cached(self, size_bytes: int) -> float:
+        """Source warmth above which Base beats the DMA engine.
+
+        As the source block approaches fully cached (and the destination
+        fully owned), the Base loop's only cost is instruction execution;
+        the DMA engine still pays its transfer.  Returns the warmth at
+        which the two match, clamped to [0, 1] — 1.0 means the engine
+        always wins at this size.
+        """
+        lo, hi = 0.0, 1.0
+        for _ in range(40):
+            mid = (lo + hi) / 2
+            op = BlockOpInputs(size_bytes, src_cached=mid, dst_owned=1.0)
+            if self.base_cycles(op) > self.dma_cycles(op):
+                lo = mid
+            else:
+                hi = mid
+        op = BlockOpInputs(size_bytes, src_cached=1.0, dst_owned=1.0)
+        if self.base_cycles(op) > self.dma_cycles(op):
+            return 1.0
+        return (lo + hi) / 2

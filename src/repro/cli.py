@@ -1,0 +1,186 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro generate  <workload> -o trace.npz [--scale S] [--seed N] [--text]
+    repro inspect   <trace.npz|.txt>
+    repro simulate  <workload|trace file> [--config Base] [--scale S]
+    repro report    [--scale S] [--only table1,figure3] [--ascii] [-o FILE]
+    repro ablation  <study> [--workload W] [--scale S]
+    repro calibrate [--scale S] [--only table2]
+
+Run as ``python -m repro.cli`` (or the module functions directly).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.common.types import Mode
+from repro.sim.config import standard_configs
+from repro.sim.system import simulate
+from repro.synthetic.workloads import WORKLOAD_ORDER, generate
+from repro.trace import npzio, textio
+from repro.trace.stream import Trace
+
+
+def _load_trace(path: str) -> Trace:
+    if path.endswith(".npz"):
+        return npzio.load(path)
+    with open(path) as fp:
+        return textio.load(fp)
+
+
+def _save_trace(trace: Trace, path: str, text: bool) -> None:
+    if text or path.endswith(".txt"):
+        with open(path, "w") as fp:
+            textio.dump(trace, fp)
+    else:
+        npzio.save(trace, path)
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    trace = generate(args.workload, seed=args.seed, scale=args.scale)
+    _save_trace(trace, args.output, args.text)
+    print(f"{args.workload}: {len(trace):,} records, "
+          f"{len(trace.blockops)} block ops -> {args.output}")
+    return 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.analysis.tracestats import TraceStats
+    trace = _load_trace(args.trace)
+    print(f"trace: {args.trace}")
+    print(f"metadata: {trace.metadata}")
+    print(TraceStats(trace).summary())
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    if args.input in WORKLOAD_ORDER:
+        trace = generate(args.input, seed=args.seed, scale=args.scale)
+    else:
+        trace = _load_trace(args.input)
+    configs = standard_configs()
+    if args.config not in configs:
+        print(f"unknown config {args.config!r}; choose from "
+              f"{list(configs)}", file=sys.stderr)
+        return 2
+    metrics = simulate(trace, configs[args.config])
+    tb = metrics.os_time()
+    print(f"config:      {args.config}")
+    print(f"makespan:    {metrics.makespan:,} cycles")
+    print(f"OS time:     {tb.total:,} cycles "
+          f"(exec {tb.exec_cycles:,}, imiss {tb.imiss:,}, "
+          f"dread {tb.dread:,}, dwrite {tb.dwrite:,}, pref {tb.pref:,})")
+    print(f"OS misses:   {metrics.os_read_misses():,}")
+    print(f"miss rate:   {metrics.data_miss_rate():.2%}")
+    print(f"mode shares: " + ", ".join(
+        f"{m.name.lower()} {metrics.mode_fraction(m):.0%}" for m in Mode))
+    print(f"bus busy:    {metrics.bus_utilization():.0%} of makespan")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.all import run_all
+    only = [n.strip() for n in args.only.split(",") if n.strip()] or None
+    report = run_all(scale=args.scale, seed=args.seed, only=only,
+                     verbose=not args.quiet)
+    if args.ascii:
+        from repro.analysis.ascii_charts import ascii_render
+        from repro.analysis.figures import ALL_FIGURES
+        from repro.experiments.runner import ExperimentRunner
+        runner = ExperimentRunner(scale=args.scale, seed=args.seed)
+        chunks = [report]
+        for name in (only or list(ALL_FIGURES)):
+            if name in ALL_FIGURES:
+                chunks.append(f"### {name} (ascii)")
+                chunks.append(ascii_render(ALL_FIGURES[name](runner)))
+        report = "\n\n".join(chunks)
+    print(report)
+    if args.output:
+        with open(args.output, "w") as fp:
+            fp.write(report)
+    return 0
+
+
+def cmd_ablation(args: argparse.Namespace) -> int:
+    from repro.experiments.ablations import ALL_STUDIES, render_study, run_study
+    if args.study not in ALL_STUDIES:
+        print(f"unknown study {args.study!r}; choose from "
+              f"{sorted(ALL_STUDIES)}", file=sys.stderr)
+        return 2
+    points = run_study(args.study, workload=args.workload, scale=args.scale,
+                       seed=args.seed)
+    print(render_study(f"{args.study} ({args.workload})", points))
+    return 0
+
+
+def cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.analysis.compare import calibration_report
+    only = [n.strip() for n in args.only.split(",") if n.strip()] or None
+    print(calibration_report(scale=args.scale, seed=args.seed, which=only))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction toolkit for Xia & Torrellas, HPCA 1996")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="generate a workload trace")
+    p.add_argument("workload", choices=WORKLOAD_ORDER)
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("--scale", type=float, default=0.5)
+    p.add_argument("--seed", type=int, default=1996)
+    p.add_argument("--text", action="store_true",
+                   help="write the text format instead of .npz")
+    p.set_defaults(fn=cmd_generate)
+
+    p = sub.add_parser("inspect", help="summarize a trace file")
+    p.add_argument("trace")
+    p.set_defaults(fn=cmd_inspect)
+
+    p = sub.add_parser("simulate", help="simulate a workload or trace file")
+    p.add_argument("input", help="workload name or trace path")
+    p.add_argument("--config", default="Base")
+    p.add_argument("--scale", type=float, default=0.25)
+    p.add_argument("--seed", type=int, default=1996)
+    p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser("report", help="regenerate tables and figures")
+    p.add_argument("--scale", type=float, default=0.5)
+    p.add_argument("--seed", type=int, default=1996)
+    p.add_argument("--only", default="")
+    p.add_argument("--ascii", action="store_true",
+                   help="append ASCII drawings of the figures")
+    p.add_argument("-o", "--output", default="")
+    p.add_argument("-q", "--quiet", action="store_true")
+    p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser("ablation", help="run a design-choice study")
+    p.add_argument("study")
+    p.add_argument("--workload", default="TRFD_4", choices=WORKLOAD_ORDER)
+    p.add_argument("--scale", type=float, default=0.3)
+    p.add_argument("--seed", type=int, default=1996)
+    p.set_defaults(fn=cmd_ablation)
+
+    p = sub.add_parser("calibrate",
+                       help="measured-vs-paper report for Tables 1-5")
+    p.add_argument("--scale", type=float, default=0.5)
+    p.add_argument("--seed", type=int, default=1996)
+    p.add_argument("--only", default="")
+    p.set_defaults(fn=cmd_calibrate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,52 @@
+"""Shared foundations: parameters, types, units, errors, random streams."""
+
+from repro.common.errors import (
+    AnalysisError,
+    ConfigError,
+    DeadlockError,
+    ReproError,
+    SimulationError,
+    TraceError,
+)
+from repro.common.params import (
+    BASE_MACHINE,
+    BusParams,
+    CacheParams,
+    DmaParams,
+    MachineParams,
+    WriteBufferParams,
+)
+from repro.common.rng import RngStream, derive_seed
+from repro.common.types import (
+    BlockOpKind,
+    COHERENCE_GROUPS,
+    DataClass,
+    MissKind,
+    Mode,
+    Op,
+    Scheme,
+)
+
+__all__ = [
+    "AnalysisError",
+    "BASE_MACHINE",
+    "BlockOpKind",
+    "BusParams",
+    "CacheParams",
+    "COHERENCE_GROUPS",
+    "ConfigError",
+    "DataClass",
+    "DeadlockError",
+    "DmaParams",
+    "MachineParams",
+    "MissKind",
+    "Mode",
+    "Op",
+    "ReproError",
+    "RngStream",
+    "Scheme",
+    "SimulationError",
+    "TraceError",
+    "WriteBufferParams",
+    "derive_seed",
+]

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+base class.  Each subclass corresponds to a layer of the system: trace
+construction, memory-system modelling, simulation, and configuration.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """A machine or system configuration is inconsistent or unsupported.
+
+    Raised, for example, when a cache size is not a multiple of its line
+    size, or when a scheme requires hardware the configuration disables.
+    """
+
+
+class TraceError(ReproError):
+    """A trace is malformed.
+
+    Raised for unbalanced lock acquire/release pairs, block-operation word
+    records that do not cover the declared byte range, or records whose
+    fields are out of range.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulator reached an impossible state.
+
+    Raised for coherence violations (two modified copies of one line),
+    negative time deltas, or a deadlock among the simulated processors.
+    """
+
+
+class DeadlockError(SimulationError):
+    """All processors are blocked and no progress is possible."""
+
+
+class AnalysisError(ReproError):
+    """An analysis pass received data it cannot interpret."""

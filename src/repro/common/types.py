@@ -1,0 +1,132 @@
+"""Core enumerations shared by the trace, memory-system and simulator layers.
+
+These types mirror the vocabulary of the paper:
+
+* :class:`Mode` — whether a reference executes in user code, the operating
+  system, or idle time (Table 1 splits execution time this way).
+* :class:`Op` — the kind of trace record.  Besides plain reads and writes
+  the trace carries the synchronization and block-operation markers that
+  section 2.2 of the paper injects ("escape" references in the original).
+* :class:`DataClass` — which kernel data structure an address belongs to.
+  Section 5 classifies coherence misses by these classes (barriers,
+  infrequently-communicated counters, frequently-shared variables, locks).
+* :class:`MissKind` — the miss taxonomy of Table 2 and section 4.1.3
+  (block-operation, coherence, other; displacement and reuse subtypes).
+* :class:`Scheme` — the block-operation handling schemes of section 4.2.
+* :class:`BlockOpKind` — copy versus zero-fill block operations.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Mode(enum.IntEnum):
+    """Execution mode of a reference."""
+
+    USER = 0
+    OS = 1
+    IDLE = 2
+
+
+class Op(enum.IntEnum):
+    """Type of a trace record."""
+
+    READ = 0
+    WRITE = 1
+    #: Software prefetch of one cache line (Alpha-style, non-binding).
+    PREFETCH = 2
+    #: Acquire a spin lock at ``addr`` (read-modify-write on the lock line).
+    LOCK_ACQ = 3
+    #: Release a spin lock at ``addr`` (write to the lock line).
+    LOCK_REL = 4
+    #: Arrive at the barrier at ``addr``; blocks until all participants do.
+    BARRIER = 5
+    #: Marks the start of a block operation; ``arg`` is the BlockOp id.
+    BLOCK_START = 6
+    #: Marks the end of a block operation; ``arg`` is the BlockOp id.
+    BLOCK_END = 7
+
+
+class DataClass(enum.IntEnum):
+    """Kernel (or user) data structure class of an address.
+
+    The synthetic kernel assigns a class to every statically allocated
+    structure; the analysis layer uses the classes to break coherence misses
+    down as in Table 5 and to drive the privatization/update optimizations
+    of section 5.
+    """
+
+    NONE = 0
+    USER_DATA = 1
+    USER_STACK = 2
+    #: Barrier words used by gang scheduling (Table 5 "Barriers").
+    BARRIER_VAR = 3
+    #: Spin locks (Table 5 "Locks").
+    LOCK_VAR = 4
+    #: Event counters updated by every CPU, read rarely (e.g. vmmeter).
+    INFREQ_COMM = 5
+    #: Frequently-shared variables (resource-table pointers, freelist.size).
+    FREQ_SHARED = 6
+    #: Page-table entry arrays walked by the VM hot-spot loops.
+    PAGE_TABLE = 7
+    #: The run queue and per-process scheduler state.
+    SCHED = 8
+    #: Process table entries.
+    PROC_TABLE = 9
+    #: Kernel buffer cache / I/O buffers (sources of block copies).
+    BUFFER = 10
+    #: Physical page frames (targets of page zero/copy).
+    PAGE_FRAME = 11
+    #: System call dispatch table (a hot-spot prefetch target, section 6).
+    SYSCALL_TABLE = 12
+    #: High-resolution timer and accounting structures.
+    TIMER = 13
+    #: Free page list linkage walked to find a free page.
+    FREELIST = 14
+    #: Per-CPU private kernel data (after privatization).
+    PRIVATE = 15
+    #: Anything else in the kernel's static or dynamic data.
+    OTHER_KERNEL = 16
+
+
+class MissKind(enum.IntEnum):
+    """Classification of a primary-data-cache read miss (Table 2, §4.1.3)."""
+
+    #: Miss on a word of the source block while a block operation runs.
+    BLOCK_OP = 0
+    #: Line was invalidated by another processor's write.
+    COHERENCE = 1
+    #: Everything else — dominated by direct-mapped conflicts.
+    OTHER = 2
+
+
+class BlockOpKind(enum.IntEnum):
+    """What a block operation does."""
+
+    COPY = 0
+    ZERO = 1
+
+
+class Scheme(enum.IntEnum):
+    """Block-operation handling scheme (section 4.2)."""
+
+    #: Plain cached loads/stores (the Base machine).
+    BASE = 0
+    #: Software prefetch of the source block into L1/L2 (Blk_Pref).
+    PREF = 1
+    #: Loads and stores bypass both caches via line registers (Blk_Bypass).
+    BYPASS = 2
+    #: Bypass with an 8-line prefetch buffer; writes cached (Blk_ByPref).
+    BYPREF = 3
+    #: DMA-like transfer on the bus, processor stalled (Blk_Dma).
+    DMA = 4
+
+
+#: Data classes whose coherence misses Table 5 groups under each heading.
+COHERENCE_GROUPS = {
+    "Barriers": (DataClass.BARRIER_VAR,),
+    "Infreq. Com.": (DataClass.INFREQ_COMM,),
+    "Freq. Shared": (DataClass.FREQ_SHARED,),
+    "Locks": (DataClass.LOCK_VAR,),
+}

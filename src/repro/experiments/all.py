@@ -1,0 +1,76 @@
+"""Regenerate every table and figure of the paper.
+
+Usage::
+
+    python -m repro.experiments.all [--scale 0.5] [--seed 1996]
+        [--only table1,figure3] [--out results.txt]
+
+One :class:`~repro.experiments.runner.ExperimentRunner` is shared across
+all artifacts so each trace, transform and simulation runs once.  The
+rendered output prints the same rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.analysis.figures import ALL_FIGURES
+from repro.analysis.report import render
+from repro.analysis.tables import ALL_TABLES
+from repro.experiments.runner import ExperimentRunner
+
+#: Paper order of artifacts.
+ARTIFACT_ORDER = [
+    "table1", "table2", "figure1", "table3", "figure2", "figure3",
+    "table4", "table5", "figure4", "figure5", "figure6", "figure7",
+]
+
+
+def run_all(scale: float = 0.5, seed: int = 1996,
+            only: Optional[List[str]] = None, verbose: bool = True) -> str:
+    """Build the selected artifacts; returns the rendered report."""
+    runner = ExperimentRunner(scale=scale, seed=seed)
+    wanted = only if only else ARTIFACT_ORDER
+    chunks = [f"Reproduction report (scale={scale}, seed={seed})",
+              "=" * 60, ""]
+    for name in wanted:
+        builder = ALL_TABLES.get(name) or ALL_FIGURES.get(name)
+        if builder is None:
+            raise KeyError(f"unknown artifact {name!r}; "
+                           f"choose from {ARTIFACT_ORDER}")
+        start = time.time()
+        artifact = builder(runner)
+        elapsed = time.time() - start
+        if verbose:
+            print(f"[{name} built in {elapsed:.1f}s]", file=sys.stderr)
+        chunks.append(f"### {name}")
+        chunks.append(render(artifact))
+        chunks.append("")
+    return "\n".join(chunks)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Reproduce every table and figure of the paper")
+    parser.add_argument("--scale", type=float, default=0.5,
+                        help="workload length multiplier (default 0.5)")
+    parser.add_argument("--seed", type=int, default=1996)
+    parser.add_argument("--only", type=str, default="",
+                        help="comma-separated artifact names")
+    parser.add_argument("--out", type=str, default="",
+                        help="also write the report to this file")
+    args = parser.parse_args(argv)
+    only = [n.strip() for n in args.only.split(",") if n.strip()] or None
+    report = run_all(scale=args.scale, seed=args.seed, only=only)
+    print(report)
+    if args.out:
+        with open(args.out, "w") as fp:
+            fp.write(report)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,145 @@
+"""Experiment runner: workload x configuration matrix with caching.
+
+Reproducing a figure needs several coordinated steps — generate the
+workload trace, profile it on the Base machine, derive the optimization
+inputs (the privatized trace, the update-protocol page set, the hot-spot
+basic blocks, the prefetch-annotated trace), and simulate the requested
+configuration.  :class:`ExperimentRunner` performs and caches each step so
+a full table/figure sweep generates each trace and derived artifact once.
+
+The derivation pipeline mirrors the paper's methodology:
+
+* privatization/relocation and hot-spot prefetching are kernel source
+  changes -> trace transformations;
+* the update-protocol core is chosen by analyzing coherence misses of a
+  profiling run (section 5.2) and handed to the coherence controller;
+* hot spots are the 12 basic blocks with the most misses remaining after
+  the block and coherence optimizations (section 6), i.e. they are
+  measured on the BCoh_RelUp system, not on Base.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.common.params import BASE_MACHINE, MachineParams
+from repro.optim.hotspots import HotspotPrefetcher, find_hotspots
+from repro.optim.privatize import privatize_and_relocate
+from repro.optim.update_select import UpdateSelection, select_update_core
+from repro.sim.config import SystemConfig, standard_configs
+from repro.sim.metrics import SystemMetrics
+from repro.sim.system import simulate
+from repro.synthetic.workloads import WORKLOAD_ORDER, generate
+from repro.trace.stream import Trace
+
+#: Number of hot spots the paper selects (section 6).
+NUM_HOTSPOTS = 12
+
+
+def _machine_key(machine: MachineParams) -> Tuple[int, int, int, int]:
+    return (machine.l1d.size_bytes, machine.l1d.line_bytes,
+            machine.l2.size_bytes, machine.l2.line_bytes)
+
+
+class ExperimentRunner:
+    """Caches traces, derived artifacts, and simulation results."""
+
+    def __init__(self, scale: float = 0.5, seed: int = 1996,
+                 machine: MachineParams = BASE_MACHINE) -> None:
+        self.scale = scale
+        self.seed = seed
+        self.machine = machine
+        self._traces: Dict[str, Trace] = {}
+        self._privatized: Dict[str, Trace] = {}
+        self._update: Dict[str, UpdateSelection] = {}
+        self._hot_pcs: Dict[str, List[int]] = {}
+        self._prefetched: Dict[str, Trace] = {}
+        self._metrics: Dict[Tuple, SystemMetrics] = {}
+
+    # ------------------------------------------------------------------
+    # Cached artifacts
+    # ------------------------------------------------------------------
+    def trace(self, workload: str) -> Trace:
+        """The raw trace of *workload*."""
+        if workload not in self._traces:
+            self._traces[workload] = generate(workload, seed=self.seed,
+                                              scale=self.scale)
+        return self._traces[workload]
+
+    def privatized_trace(self, workload: str) -> Trace:
+        """The trace after privatization/relocation (section 5.1)."""
+        if workload not in self._privatized:
+            trace = self.trace(workload)
+            self._privatized[workload] = privatize_and_relocate(
+                trace, trace.num_cpus)
+        return self._privatized[workload]
+
+    def update_selection(self, workload: str) -> UpdateSelection:
+        """The update-protocol core chosen from a Base profiling run."""
+        if workload not in self._update:
+            base = self.run(workload, "Base")
+            self._update[workload] = select_update_core(
+                base, self.trace(workload).symbols,
+                page_bytes=self.machine.page_bytes)
+        return self._update[workload]
+
+    def hotspots(self, workload: str) -> List[int]:
+        """The 12 hottest basic blocks, measured on BCoh_RelUp."""
+        if workload not in self._hot_pcs:
+            profile = self.run(workload, "BCoh_RelUp")
+            self._hot_pcs[workload] = find_hotspots(profile, NUM_HOTSPOTS)
+        return self._hot_pcs[workload]
+
+    def prefetched_trace(self, workload: str) -> Trace:
+        """The privatized trace with hot-spot prefetches inserted."""
+        if workload not in self._prefetched:
+            config = standard_configs()["BCPref"]
+            prefetcher = HotspotPrefetcher(
+                self.hotspots(workload), lead=config.hotspot_lead_records,
+                line_bytes=self.machine.l1d.line_bytes)
+            self._prefetched[workload] = prefetcher.apply(
+                self.privatized_trace(workload))
+        return self._prefetched[workload]
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def run(self, workload: str, config_name: str,
+            machine: Optional[MachineParams] = None) -> SystemMetrics:
+        """Simulate *workload* under the named standard configuration."""
+        machine = machine if machine is not None else self.machine
+        key = (workload, config_name, _machine_key(machine))
+        if key in self._metrics:
+            return self._metrics[key]
+        config = standard_configs(machine)[config_name]
+        metrics = self._run_config(workload, config)
+        self._metrics[key] = metrics
+        return metrics
+
+    def _run_config(self, workload: str,
+                    config: SystemConfig) -> SystemMetrics:
+        if config.hotspot_prefetch:
+            trace = self.prefetched_trace(workload)
+        elif config.privatize:
+            trace = self.privatized_trace(workload)
+        else:
+            trace = self.trace(workload)
+        update_pages: Iterable[int] = ()
+        if config.selective_update:
+            update_pages = self.update_selection(workload).pages
+        hotspot_pcs: Iterable[int] = ()
+        if config.hotspot_prefetch:
+            hotspot_pcs = self.hotspots(workload)
+        return simulate(trace, config, update_pages=update_pages,
+                        hotspot_pcs=hotspot_pcs)
+
+    def run_matrix(self, config_names: Iterable[str],
+                   workloads: Optional[Iterable[str]] = None,
+                   ) -> Dict[Tuple[str, str], SystemMetrics]:
+        """Run every (workload, config) pair; returns the result map."""
+        workloads = list(workloads) if workloads else WORKLOAD_ORDER
+        out = {}
+        for workload in workloads:
+            for name in config_names:
+                out[(workload, name)] = self.run(workload, name)
+        return out

@@ -1,0 +1,143 @@
+"""Direct-mapped cache arrays.
+
+All three caches of the simulated machine are direct-mapped, so a cache is
+just a tag (and, for the L2, a MESI state) per set.  Timing lives in the
+hierarchy/coherence layers; this module only answers presence questions and
+performs fills, evictions and invalidations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.common.params import CacheParams
+from repro.memsys.states import LineState
+
+
+class DirectMappedCache:
+    """Tag-only direct-mapped cache (used for L1I and L1D)."""
+
+    __slots__ = ("params", "_line_bytes", "_num_lines", "tags", "fills",
+                 "evictions")
+
+    def __init__(self, params: CacheParams) -> None:
+        self.params = params
+        self._line_bytes = params.line_bytes
+        self._num_lines = params.num_lines
+        #: Line-aligned address held by each set, or -1 when empty.
+        self.tags: List[int] = [-1] * self._num_lines
+        self.fills = 0
+        self.evictions = 0
+
+    def line_addr(self, addr: int) -> int:
+        """Line-aligned address containing *addr*."""
+        return addr - (addr % self._line_bytes)
+
+    def set_index(self, addr: int) -> int:
+        """Set index of *addr*."""
+        return (addr // self._line_bytes) % self._num_lines
+
+    def present(self, addr: int) -> bool:
+        """True when the line containing *addr* is cached."""
+        line = self.line_addr(addr)
+        return self.tags[(line // self._line_bytes) % self._num_lines] == line
+
+    def fill(self, addr: int) -> int:
+        """Install the line containing *addr*.
+
+        Returns the line address evicted to make room, or -1 when the set
+        was empty or already held the line.
+        """
+        line = self.line_addr(addr)
+        idx = (line // self._line_bytes) % self._num_lines
+        old = self.tags[idx]
+        if old == line:
+            return -1
+        self.tags[idx] = line
+        self.fills += 1
+        if old != -1:
+            self.evictions += 1
+            return old
+        return -1
+
+    def invalidate(self, addr: int) -> bool:
+        """Drop the line containing *addr*; returns True if it was present."""
+        line = self.line_addr(addr)
+        idx = (line // self._line_bytes) % self._num_lines
+        if self.tags[idx] == line:
+            self.tags[idx] = -1
+            return True
+        return False
+
+    def invalidate_range(self, base: int, size: int) -> List[int]:
+        """Drop every cached line overlapping ``[base, base+size)``.
+
+        Returns the line addresses actually dropped.
+        """
+        dropped = []
+        first = self.line_addr(base)
+        for line in range(first, base + size, self._line_bytes):
+            if self.invalidate(line):
+                dropped.append(line)
+        return dropped
+
+    def resident_lines(self) -> List[int]:
+        """All line addresses currently cached, in set order."""
+        return [t for t in self.tags if t != -1]
+
+
+class CoherentCache(DirectMappedCache):
+    """Direct-mapped cache with a MESI state per set (the L2)."""
+
+    __slots__ = ("states",)
+
+    def __init__(self, params: CacheParams) -> None:
+        super().__init__(params)
+        self.states: List[LineState] = [LineState.INVALID] * self._num_lines
+
+    def state_of(self, addr: int) -> LineState:
+        """MESI state of the line containing *addr* (INVALID if absent)."""
+        line = self.line_addr(addr)
+        idx = (line // self._line_bytes) % self._num_lines
+        if self.tags[idx] == line:
+            return self.states[idx]
+        return LineState.INVALID
+
+    def set_state(self, addr: int, state: LineState) -> None:
+        """Set the MESI state of a resident line."""
+        line = self.line_addr(addr)
+        idx = (line // self._line_bytes) % self._num_lines
+        if self.tags[idx] != line:
+            raise KeyError(f"line {line:#x} not resident")
+        self.states[idx] = state
+        if state == LineState.INVALID:
+            self.tags[idx] = -1
+
+    def fill_state(self, addr: int, state: LineState) -> Tuple[int, Optional[LineState]]:
+        """Install the line containing *addr* in *state*.
+
+        Returns ``(evicted_line_addr, evicted_state)`` —
+        ``(-1, None)`` when nothing was displaced.
+        """
+        line = self.line_addr(addr)
+        idx = (line // self._line_bytes) % self._num_lines
+        old_tag = self.tags[idx]
+        old_state = self.states[idx]
+        self.tags[idx] = line
+        self.states[idx] = state
+        if old_tag == line or old_tag == -1:
+            if old_tag == -1:
+                self.fills += 1
+            return -1, None
+        self.fills += 1
+        self.evictions += 1
+        return old_tag, old_state
+
+    def invalidate(self, addr: int) -> bool:
+        line = self.line_addr(addr)
+        idx = (line // self._line_bytes) % self._num_lines
+        if self.tags[idx] == line:
+            self.tags[idx] = -1
+            self.states[idx] = LineState.INVALID
+            return True
+        return False

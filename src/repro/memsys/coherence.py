@@ -1,0 +1,342 @@
+"""Snooping coherence controller: Illinois (MESI) plus per-page Firefly.
+
+All coherence runs at L2-line granularity (the L2s snoop the bus).  The
+controller owns the global view: every CPU's L2 (and, for inclusion, its
+L1s) is registered here, and every bus-level operation — demand fetches,
+ownership acquisition, invalidations, Firefly updates, bypass transfers —
+goes through one of the methods below, which reserve the bus and mutate
+line states consistently.
+
+The Illinois protocol supplies lines cache-to-cache: a read miss that finds
+the line in another cache gets it from that cache (faster than memory);
+a dirty supplier writes the line back and drops to SHARED.
+
+The Firefly *update* protocol is applied only to the pages registered via
+:meth:`CoherenceController.set_update_pages` — the 384-byte core of barrier
+words, hot locks and producer-consumer variables selected in section 5.2.
+Writes to those pages broadcast the new data instead of invalidating, so
+the other processors' copies stay valid and their coherence misses
+disappear, at the cost of update traffic on the bus.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set
+
+from repro.common.errors import SimulationError
+from repro.common.params import MachineParams
+from repro.memsys.bus import Bus, BusOp
+from repro.memsys.cache import CoherentCache, DirectMappedCache
+from repro.memsys.sink import MemorySink
+from repro.memsys.states import LineState
+
+
+class _CpuPort:
+    """Per-CPU caches and sink as seen by the controller."""
+
+    __slots__ = ("l1i", "l1d", "l2", "sink")
+
+    def __init__(self, l1i: DirectMappedCache, l1d: DirectMappedCache,
+                 l2: CoherentCache, sink: MemorySink) -> None:
+        self.l1i = l1i
+        self.l1d = l1d
+        self.l2 = l2
+        self.sink = sink
+
+
+class CoherenceController:
+    """Global snooping state machine over all L2 caches."""
+
+    def __init__(self, machine: MachineParams, bus: Bus) -> None:
+        self.machine = machine
+        self.bus = bus
+        self.ports: List[_CpuPort] = []
+        #: Page-aligned base addresses running the Firefly update protocol.
+        self.update_pages: Set[int] = set()
+        #: Run Firefly update on *every* address (the pure-update
+        #: comparison point of section 5.2).
+        self.update_everywhere = False
+        # Statistics.
+        self.invalidations_sent = 0
+        self.updates_sent = 0
+        self.cache_to_cache = 0
+        self.writebacks = 0
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def attach(self, l1i: DirectMappedCache, l1d: DirectMappedCache,
+               l2: CoherentCache, sink: MemorySink) -> int:
+        """Register one CPU's caches; returns its id."""
+        self.ports.append(_CpuPort(l1i, l1d, l2, sink))
+        return len(self.ports) - 1
+
+    def set_update_pages(self, pages: Iterable[int]) -> None:
+        """Run Firefly update on the given page-aligned addresses."""
+        page = self.machine.page_bytes
+        self.update_pages = {p - (p % page) for p in pages}
+
+    def is_update_addr(self, addr: int) -> bool:
+        """True when *addr* lies in a Firefly-update page."""
+        if self.update_everywhere:
+            return True
+        if not self.update_pages:
+            return False
+        return addr - (addr % self.machine.page_bytes) in self.update_pages
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _l2_line(self, addr: int) -> int:
+        return addr - (addr % self.machine.l2.line_bytes)
+
+    def _holders(self, line: int, except_cpu: int) -> List[int]:
+        """CPUs (other than *except_cpu*) whose L2 holds *line*."""
+        return [i for i, p in enumerate(self.ports)
+                if i != except_cpu and p.l2.state_of(line) != LineState.INVALID]
+
+    def _dirty_holder(self, line: int, except_cpu: int) -> Optional[int]:
+        for i, p in enumerate(self.ports):
+            if i != except_cpu and p.l2.state_of(line) == LineState.MODIFIED:
+                return i
+        return None
+
+    def _drop_from_l1(self, cpu: int, l2_line: int, coherence: bool) -> None:
+        """Enforce inclusion: drop the L1 sublines of *l2_line*."""
+        port = self.ports[cpu]
+        size = self.machine.l2.line_bytes
+        dropped = port.l1d.invalidate_range(l2_line, size)
+        if coherence:
+            for sub in dropped:
+                port.sink.coherence_invalidate(sub)
+        port.l1i.invalidate_range(l2_line, size)
+
+    def _invalidate_remotes(self, cpu: int, line: int) -> int:
+        """Invalidate every other cache's copy of *line*; returns count."""
+        count = 0
+        for i in self._holders(line, cpu):
+            self.ports[i].l2.set_state(line, LineState.INVALID)
+            self._drop_from_l1(i, line, coherence=True)
+            count += 1
+        self.invalidations_sent += count
+        return count
+
+    def _fill_l2(self, cpu: int, line: int, state: LineState, t: int) -> None:
+        """Install *line* in *cpu*'s L2, handling eviction side effects.
+
+        A dirty victim is written back on the bus (occupancy charged after
+        the demand transfer, as a write-back buffer would); any victim's L1
+        sublines are dropped for inclusion (a conflict, not a coherence,
+        invalidation).
+        """
+        port = self.ports[cpu]
+        evicted, evicted_state = port.l2.fill_state(line, state)
+        if evicted != -1:
+            self._drop_from_l1(cpu, evicted, coherence=False)
+            if evicted_state == LineState.MODIFIED:
+                transfer = self.bus.params.line_transfer_cycles(
+                    self.machine.l2.line_bytes)
+                self.bus.acquire(t, transfer, BusOp.WRITEBACK)
+                self.writebacks += 1
+
+    # ------------------------------------------------------------------
+    # Demand read path
+    # ------------------------------------------------------------------
+    def fetch_shared(self, cpu: int, addr: int, t: int,
+                     kind: BusOp = BusOp.READ_MEM) -> int:
+        """L2 read miss: fetch the line for reading.  Returns ready time.
+
+        Illinois: a cache holding the line supplies it (dirty holders write
+        back and drop to SHARED); otherwise memory supplies it and the
+        requester loads it EXCLUSIVE.
+        """
+        line = self._l2_line(addr)
+        port = self.ports[cpu]
+        if port.l2.state_of(line) != LineState.INVALID:
+            raise SimulationError(f"fetch_shared of resident line {line:#x}")
+        holders = self._holders(line, cpu)
+        if holders:
+            ready = self._split_transfer(t, BusOp.READ_CACHE,
+                                         self.bus.params.cache_supply_cycles)
+            for i in holders:
+                self.ports[i].l2.set_state(line, LineState.SHARED)
+            self.cache_to_cache += 1
+            state = LineState.SHARED
+        else:
+            ready = self._split_transfer(t, kind,
+                                         self.bus.params.memory_access_cycles)
+            state = LineState.EXCLUSIVE
+        self._fill_l2(cpu, line, state, ready)
+        return ready
+
+    def _split_transfer(self, t: int, kind: BusOp, wait_cycles: int) -> int:
+        """Split-transaction line read: request phase, off-bus wait, data.
+
+        The bus is held for the request, released while memory (or the
+        supplying cache) works, then held again for the line transfer —
+        5 + 26 + 20 = 51 uncontended cycles for a memory read, matching
+        section 2.4, with only 25 cycles of bus occupancy.
+        """
+        bus = self.bus.params
+        transfer = bus.line_transfer_cycles(self.machine.l2.line_bytes)
+        grant = self.bus.acquire(t, bus.request_cycles, kind)
+        data_at = grant + bus.request_cycles + wait_cycles
+        grant2 = self.bus.acquire(data_at, transfer, kind, record_txn=False)
+        return grant2 + transfer
+
+    def read_nofill(self, cpu: int, addr: int, t: int,
+                    kind: BusOp = BusOp.READ_MEM) -> int:
+        """Read a line over the bus without caching it (bypass schemes)."""
+        line = self._l2_line(addr)
+        dirty = self._dirty_holder(line, cpu)
+        if dirty is not None:
+            ready = self._split_transfer(t, BusOp.READ_CACHE,
+                                         self.bus.params.cache_supply_cycles)
+            # Illinois: the supplier writes back and keeps a SHARED copy.
+            self.ports[dirty].l2.set_state(line, LineState.SHARED)
+            self.cache_to_cache += 1
+            return ready
+        return self._split_transfer(t, kind, self.bus.params.memory_access_cycles)
+
+    # ------------------------------------------------------------------
+    # Write paths
+    # ------------------------------------------------------------------
+    def upgrade(self, cpu: int, addr: int, t: int) -> int:
+        """S -> M upgrade: invalidate other copies.  Returns completion.
+
+        For Firefly-update addresses this becomes a broadcast update
+        instead and the line stays SHARED.
+        """
+        line = self._l2_line(addr)
+        port = self.ports[cpu]
+        state = port.l2.state_of(line)
+        if state == LineState.INVALID:
+            raise SimulationError(f"upgrade of non-resident line {line:#x}")
+        if self.is_update_addr(addr):
+            return self.broadcast_update(cpu, addr, t)
+        grant = self.bus.acquire(t, self.bus.params.invalidate_cycles,
+                                 BusOp.INVALIDATE)
+        self._invalidate_remotes(cpu, line)
+        port.l2.set_state(line, LineState.MODIFIED)
+        return grant + self.bus.params.invalidate_cycles
+
+    def fetch_owned(self, cpu: int, addr: int, t: int) -> int:
+        """Write miss at L2: read-for-ownership.  Returns ready time.
+
+        Firefly-update addresses instead fetch SHARED and broadcast the
+        write, leaving remote copies valid.
+        """
+        line = self._l2_line(addr)
+        if self.is_update_addr(addr):
+            ready = self.fetch_shared(cpu, addr, t)
+            return self.broadcast_update(cpu, addr, ready)
+        dirty = self._dirty_holder(line, cpu)
+        if dirty is not None:
+            ready = self._split_transfer(t, BusOp.OWNERSHIP,
+                                         self.bus.params.cache_supply_cycles)
+            self.cache_to_cache += 1
+        else:
+            ready = self._split_transfer(t, BusOp.OWNERSHIP,
+                                         self.bus.params.memory_access_cycles)
+        self._invalidate_remotes(cpu, line)
+        self._fill_l2(cpu, line, LineState.MODIFIED, ready)
+        return ready
+
+    def broadcast_update(self, cpu: int, addr: int, t: int) -> int:
+        """Firefly write to a shared line: broadcast one word of data.
+
+        Remote copies stay valid; memory is written through; the writer's
+        copy stays SHARED while sharers exist, else becomes MODIFIED.
+        """
+        line = self._l2_line(addr)
+        port = self.ports[cpu]
+        if port.l2.state_of(line) == LineState.INVALID:
+            raise SimulationError(f"update of non-resident line {line:#x}")
+        grant = self.bus.acquire(t, self.bus.params.update_cycles, BusOp.UPDATE)
+        holders = self._holders(line, cpu)
+        self.updates_sent += 1
+        if holders:
+            port.l2.set_state(line, LineState.SHARED)
+        else:
+            port.l2.set_state(line, LineState.MODIFIED)
+        return grant + self.bus.params.update_cycles
+
+    def write_line_to_memory(self, cpu: int, line_addr: int, t: int,
+                             kind: BusOp = BusOp.WRITEBACK,
+                             invalidate_remotes: bool = True) -> int:
+        """Push a full line to memory (bypassing stores, DMA destination).
+
+        Other caches' copies are invalidated (invalidation protocol) unless
+        the caller updates them itself (DMA does).
+        """
+        line = self._l2_line(line_addr)
+        transfer = self.bus.params.line_transfer_cycles(
+            self.machine.l2.line_bytes)
+        grant = self.bus.acquire(t, transfer, kind)
+        if invalidate_remotes:
+            self._invalidate_remotes(cpu, line)
+            # The writer's own stale copy (if any) is dropped too.
+            port = self.ports[cpu]
+            if port.l2.state_of(line) != LineState.INVALID:
+                port.l2.set_state(line, LineState.INVALID)
+                self._drop_from_l1(cpu, line, coherence=False)
+        return grant + transfer
+
+    # ------------------------------------------------------------------
+    # DMA snooping support (section 4.2, Blk_Dma)
+    # ------------------------------------------------------------------
+    def dma_snoop_src(self, cpu: int, line_addr: int) -> bool:
+        """Snoop a DMA source line; returns True when a cache supplied it.
+
+        A MODIFIED holder supplies the data and (Illinois) drops to SHARED
+        after writing back; clean copies are untouched.
+        """
+        line = self._l2_line(line_addr)
+        for port in self.ports:
+            if port.l2.state_of(line) == LineState.MODIFIED:
+                port.l2.set_state(line, LineState.SHARED)
+                self.cache_to_cache += 1
+                return True
+        return False
+
+    def dma_update_dst(self, cpu: int, line_addr: int) -> int:
+        """Snoop a DMA destination line: update cached copies in place.
+
+        Per the paper, caches holding destination data are *updated*, not
+        invalidated, and the update propagates to the L1.  All copies drop
+        to SHARED (memory now matches).  Returns the number of caches that
+        held the line (each slows the transfer slightly).
+        """
+        line = self._l2_line(line_addr)
+        holders = 0
+        for port in self.ports:
+            if port.l2.state_of(line) != LineState.INVALID:
+                port.l2.set_state(line, LineState.SHARED)
+                holders += 1
+        return holders
+
+    # ------------------------------------------------------------------
+    # Invariant checking (used by tests)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Raise :class:`SimulationError` on any coherence violation."""
+        lines: Set[int] = set()
+        for port in self.ports:
+            lines.update(port.l2.resident_lines())
+        for line in lines:
+            states = [p.l2.state_of(line) for p in self.ports]
+            owned = sum(1 for s in states
+                        if s in (LineState.EXCLUSIVE, LineState.MODIFIED))
+            present = sum(1 for s in states if s != LineState.INVALID)
+            if owned > 1:
+                raise SimulationError(f"line {line:#x}: multiple owners")
+            if owned == 1 and present > 1:
+                raise SimulationError(
+                    f"line {line:#x}: owned and shared simultaneously")
+        # Inclusion: every L1 line must be covered by a resident L2 line.
+        for cpu, port in enumerate(self.ports):
+            for l1 in (port.l1d, port.l1i):
+                for sub in l1.resident_lines():
+                    if port.l2.state_of(sub) == LineState.INVALID:
+                        raise SimulationError(
+                            f"cpu {cpu}: L1 line {sub:#x} not in L2")

@@ -1,0 +1,308 @@
+"""Per-CPU memory hierarchy: L1I, L1D, write buffers, L2, and access paths.
+
+One :class:`CpuMemorySystem` owns everything private to a processor and
+implements every access path the paper's systems need:
+
+* cached reads/writes (the Base machine),
+* instruction fetches through the L1I and unified L2,
+* software prefetches into the caches (Blk_Pref, hot-spot prefetching),
+* prefetches into the 8-line buffer and bypassing reads/writes through
+  line registers (Blk_Bypass / Blk_ByPref),
+* write-buffer drains with ownership acquisition, upgrades, and Firefly
+  updates.
+
+Timing contract: every method takes the processor's current time ``t`` and
+returns an :class:`AccessResult` whose ``done`` is when the processor may
+proceed.  Stall components are split the way Figure 3 reports them
+(``stall`` -> D Read Miss or D Write; ``pref_stall`` -> Pref).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.params import MachineParams
+from repro.memsys.bus import Bus, BusOp
+from repro.memsys.cache import CoherentCache, DirectMappedCache
+from repro.memsys.coherence import CoherenceController
+from repro.memsys.prefetch import PendingFills, PrefetchLineBuffer
+from repro.memsys.sink import MemorySink, MissFlags, NO_FLAGS
+from repro.memsys.states import LineState, is_owned
+from repro.memsys.writebuffer import TimedWriteBuffer
+
+#: Levels an access can be satisfied from, for statistics.
+LEVEL_L1 = "l1"
+LEVEL_PREF = "pref"
+LEVEL_BUFFER = "buffer"
+LEVEL_REGISTER = "register"
+LEVEL_L2 = "l2"
+LEVEL_MEM = "mem"
+LEVEL_WB = "wb"
+
+
+class AccessResult:
+    """Outcome of one memory access."""
+
+    __slots__ = ("done", "stall", "pref_stall", "miss", "level", "flags")
+
+    def __init__(self, done: int, stall: int = 0, pref_stall: int = 0,
+                 miss: bool = False, level: str = LEVEL_L1,
+                 flags: MissFlags = NO_FLAGS) -> None:
+        self.done = done
+        self.stall = stall
+        self.pref_stall = pref_stall
+        self.miss = miss
+        self.level = level
+        self.flags = flags
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"AccessResult(done={self.done}, stall={self.stall}, "
+                f"pref_stall={self.pref_stall}, miss={self.miss}, "
+                f"level={self.level!r})")
+
+
+class CpuMemorySystem:
+    """All memory-system state private to one processor."""
+
+    def __init__(self, machine: MachineParams, bus: Bus,
+                 controller: CoherenceController,
+                 sink: Optional[MemorySink] = None) -> None:
+        self.machine = machine
+        self.bus = bus
+        self.controller = controller
+        self.sink = sink if sink is not None else MemorySink()
+        self.l1i = DirectMappedCache(machine.l1i)
+        self.l1d = DirectMappedCache(machine.l1d)
+        self.l2 = CoherentCache(machine.l2)
+        wb = machine.write_buffers
+        self.wb1 = TimedWriteBuffer(wb.l1_depth, "wb1")
+        self.wb2 = TimedWriteBuffer(wb.l2_depth, "wb2")
+        self.pending = PendingFills()
+        self.pref_buffer = PrefetchLineBuffer()
+        #: Source/destination line registers of the bypass schemes.
+        self.bypass_src_line = -1
+        self.bypass_dst_line = -1
+        #: Effective source-register granularity: plain Blk_Bypass issues
+        #: blocking first-level-line loads; Blk_ByPref streams through its
+        #: buffer at second-level-line granularity.
+        self.bypass_l2_wide = False
+        #: Set by the processor while a block operation is in progress; the
+        #: sink uses it to distinguish *inside* displacement misses.
+        self.in_blockop = False
+        self.cpu_id = controller.attach(self.l1i, self.l1d, self.l2, self.sink)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _l1_fill(self, addr: int) -> None:
+        """Install *addr*'s line in the L1D, reporting fill/eviction."""
+        line = self.l1d.line_addr(addr)
+        evicted = self.l1d.fill(addr)
+        if evicted != -1:
+            self.pending.drop(evicted)
+        self.sink.l1_fill(line, evicted, self.in_blockop)
+
+    def _fetch_for_read(self, addr: int, t: int,
+                        kind: BusOp = BusOp.READ_MEM) -> "tuple[int, str]":
+        """Bring *addr* to readable state at L2; return (ready, level)."""
+        if self.l2.state_of(addr) != LineState.INVALID:
+            return t + self.machine.l2_hit_cycles, LEVEL_L2
+        ready = self.controller.fetch_shared(self.cpu_id, addr, t, kind)
+        return ready, LEVEL_MEM
+
+    # ------------------------------------------------------------------
+    # Cached access paths (Base machine)
+    # ------------------------------------------------------------------
+    def read(self, addr: int, t: int) -> AccessResult:
+        """Demand data read at time *t*."""
+        line = self.l1d.line_addr(addr)
+        if self.l1d.present(addr):
+            remaining = self.pending.consume(line, t)
+            if remaining:
+                # Prefetch in flight: partially hidden; the paper still
+                # counts it as a miss ("not issued early enough").
+                return AccessResult(t + remaining + 1, pref_stall=remaining,
+                                    miss=True, level=LEVEL_PREF)
+            return AccessResult(t + self.machine.l1_hit_cycles)
+        flags = self.sink.consume_miss_flags(line)
+        ready, level = self._fetch_for_read(addr, t)
+        self._l1_fill(addr)
+        latency = ready - t
+        return AccessResult(ready, stall=latency - self.machine.l1_hit_cycles,
+                            miss=True, level=level, flags=flags)
+
+    def write(self, addr: int, t: int) -> AccessResult:
+        """Data write at time *t* (write-through, write-allocate L1)."""
+        hit = self.l1d.present(addr)
+        if not hit:
+            # Write-allocate: the fill overlaps the buffered write, so the
+            # processor does not wait for it; ownership is acquired on the
+            # drain path below.
+            self._l1_fill(addr)
+        insert_t, stall = self.wb1.enqueue(t, lambda s: self._drain_word(addr, s))
+        return AccessResult(insert_t + 1, stall=stall, miss=not hit,
+                            level=LEVEL_WB)
+
+    def _drain_word(self, addr: int, start: int) -> int:
+        """Retire one word from WB1 into the L2 / bus.  Returns completion."""
+        state = self.l2.state_of(addr)
+        if is_owned(state):
+            self.l2.set_state(addr, LineState.MODIFIED)
+            return start + self.machine.write_buffers.l1_drain_cycles
+        controller = self.controller
+        if state == LineState.SHARED:
+            if controller.is_update_addr(addr):
+                service = lambda s: controller.broadcast_update(self.cpu_id, addr, s)
+            else:
+                service = lambda s: controller.upgrade(self.cpu_id, addr, s)
+        else:
+            service = lambda s: controller.fetch_owned(self.cpu_id, addr, s)
+        # The WB1 slot frees once the word is handed to WB2.
+        insert_t, _ = self.wb2.enqueue(start, service)
+        return insert_t + 1
+
+    def ifetch(self, pc: int, icount: int, t: int) -> int:
+        """Fetch *icount* 4-byte instructions starting at *pc*.
+
+        Returns the instruction-miss stall in cycles (execution time itself
+        is charged by the processor).
+        """
+        l1i = self.l1i
+        line_bytes = l1i.params.line_bytes
+        line = l1i.line_addr(pc)
+        end = pc + 4 * icount
+        stall = 0
+        while line < end:
+            if not l1i.present(line):
+                if self.l2.state_of(line) != LineState.INVALID:
+                    stall += self.machine.l2_hit_cycles - 1
+                else:
+                    ready = self.controller.fetch_shared(
+                        self.cpu_id, line, t + stall, BusOp.READ_MEM)
+                    stall += ready - (t + stall)
+                l1i.fill(line)
+            line += line_bytes
+        return stall
+
+    # ------------------------------------------------------------------
+    # Prefetching (Blk_Pref, hot-spot prefetch, Blk_ByPref buffer)
+    # ------------------------------------------------------------------
+    def prefetch_line(self, addr: int, t: int) -> None:
+        """Software prefetch of *addr*'s line into L1 and L2 (non-binding)."""
+        line = self.l1d.line_addr(addr)
+        if self.l1d.present(addr):
+            return
+        ready, _level = self._fetch_for_read(addr, t, BusOp.PREFETCH)
+        self._l1_fill(addr)
+        self.pending.add(line, ready)
+
+    def prefetch_into_buffer(self, addr: int, t: int) -> None:
+        """Prefetch *addr*'s line into the Blk_ByPref line buffer.
+
+        Transfers happen at second-level-line granularity (the scheme has
+        registers as wide as an L2 line beside the L2), so one bus read
+        fills every L1-sized buffer slot the L2 line covers.
+        """
+        line = self.l1d.line_addr(addr)
+        if self.l1d.present(addr) or self.pref_buffer.contains(line):
+            return
+        if self.l2.state_of(addr) != LineState.INVALID:
+            ready = t + self.machine.l2_hit_cycles
+        else:
+            ready = self.controller.read_nofill(self.cpu_id, addr, t,
+                                                BusOp.PREFETCH)
+        l2_line = addr - addr % self.machine.l2.line_bytes
+        for sub in range(l2_line, l2_line + self.machine.l2.line_bytes,
+                         self.machine.l1d.line_bytes):
+            if not self.l1d.present(sub):
+                self.pref_buffer.insert(sub, ready)
+                self.sink.bypass_mark(sub)
+
+    # ------------------------------------------------------------------
+    # Bypassing paths (Blk_Bypass / Blk_ByPref)
+    # ------------------------------------------------------------------
+    def read_bypass(self, addr: int, t: int) -> AccessResult:
+        """Block-operation source read that bypasses the caches."""
+        line = self.l1d.line_addr(addr)
+        if self.l1d.present(addr):
+            return self.read(addr, t)
+        buffered = self.pref_buffer.lookup(line)
+        if buffered is not None:
+            self.pref_buffer.hits += 1
+            if buffered <= t:
+                return AccessResult(t + 1, level=LEVEL_BUFFER)
+            # In-flight buffer fill: a block miss that was partially hidden
+            # ("prefetch not issued early enough"), not a reuse — leave the
+            # bypass mark in place for later demand misses.
+            return AccessResult(buffered + 1, pref_stall=buffered - t,
+                                miss=True, level=LEVEL_BUFFER)
+        gran = (self.machine.l2.line_bytes if self.bypass_l2_wide
+                else self.machine.l1d.line_bytes)
+        reg_line = addr - addr % gran
+        if reg_line == self.bypass_src_line:
+            return AccessResult(t + 1, level=LEVEL_REGISTER)
+        # New source line: fetch into the line register, never the caches.
+        flags = self.sink.consume_miss_flags(line)
+        if self.l2.state_of(addr) != LineState.INVALID:
+            ready = t + self.machine.l2_hit_cycles
+            level = LEVEL_L2
+        else:
+            ready = self.controller.read_nofill(self.cpu_id, addr, t)
+            level = LEVEL_MEM
+        self.bypass_src_line = reg_line
+        for sub in range(reg_line, reg_line + gran,
+                         self.machine.l1d.line_bytes):
+            if not self.l1d.present(sub):
+                self.sink.bypass_mark(sub)
+        return AccessResult(ready, stall=ready - t - 1, miss=True, level=level,
+                            flags=flags)
+
+    def write_bypass(self, addr: int, t: int) -> AccessResult:
+        """Block-operation destination write that bypasses the caches.
+
+        Per the paper, when the line is already in the originating
+        processor's caches a normal cache access is performed; otherwise
+        words accumulate in a line register that is flushed to memory.
+        """
+        if self.l1d.present(addr) or self.l2.state_of(addr) != LineState.INVALID:
+            return self.write(addr, t)
+        line = self.l1d.line_addr(addr)
+        stall = 0
+        if line != self.bypass_dst_line:
+            stall = self._flush_bypass_dst(t)
+            self.bypass_dst_line = line
+        return AccessResult(t + stall + 1, stall=stall, level=LEVEL_REGISTER)
+
+    def _flush_bypass_dst(self, t: int) -> int:
+        """Flush the destination line register to memory via WB2."""
+        if self.bypass_dst_line == -1:
+            return 0
+        line = self.bypass_dst_line
+        self.bypass_dst_line = -1
+        transfer = self.bus.params.line_transfer_cycles(
+            self.machine.l1d.line_bytes)
+        controller = self.controller
+        cpu = self.cpu_id
+
+        def service(start: int) -> int:
+            grant = self.bus.acquire(start, transfer, BusOp.WRITEBACK)
+            controller._invalidate_remotes(cpu, controller._l2_line(line))
+            return grant + transfer
+
+        _insert, stall = self.wb2.enqueue(t, service)
+        self.sink.bypass_mark(line)
+        return stall
+
+    def end_block_op(self, t: int) -> int:
+        """Tear down per-operation bypass state; returns extra stall."""
+        stall = self._flush_bypass_dst(t)
+        self.bypass_src_line = -1
+        self.pref_buffer.clear()
+        return stall
+
+    # ------------------------------------------------------------------
+    # Synchronization support
+    # ------------------------------------------------------------------
+    def drain_writes(self, t: int) -> int:
+        """Release consistency: time when all buffered writes are visible."""
+        return max(self.wb1.drain_time(t), self.wb2.drain_time(t))

@@ -1,0 +1,54 @@
+"""Event-sink protocol between the memory system and the metrics layer.
+
+The memory system reports the events the paper's miss taxonomy needs —
+coherence invalidations, fills and displacements during block operations,
+lines fetched in bypass mode — to a per-CPU sink.  :class:`MemorySink` is
+the no-op base; :class:`repro.sim.metrics.MissTracker` implements the real
+bookkeeping.  Keeping the protocol here lets :mod:`repro.memsys` stay
+independent of the simulator layer.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+
+class MissFlags(NamedTuple):
+    """Cause flags attached to one L1D read miss.
+
+    ``coherence`` — the line had been invalidated by a remote write while
+    resident.  ``displaced`` — the line had been evicted by a block-op
+    fill (a *block displacement miss*).  ``bypassed`` — the line had been
+    moved by a bypassing scheme without being cached (a *reuse* miss).
+    """
+
+    coherence: bool = False
+    displaced: bool = False
+    bypassed: bool = False
+
+
+#: Flags value meaning "no special cause".
+NO_FLAGS = MissFlags()
+
+
+class MemorySink:
+    """No-op sink; subclass and override what you need."""
+
+    def coherence_invalidate(self, l1_line: int) -> None:
+        """A remote write invalidated *l1_line* while it sat in this L1D."""
+
+    def l1_fill(self, l1_line: int, evicted_line: int, during_blockop: bool) -> None:
+        """*l1_line* was installed in the L1D, evicting *evicted_line* (-1
+        when the set was empty).  ``during_blockop`` is True when the fill
+        was triggered by a block-operation access, which makes the eviction
+        a potential *block displacement miss* later (section 4.1.3)."""
+
+    def bypass_mark(self, l1_line: int) -> None:
+        """*l1_line* was moved by a bypassing scheme without being cached;
+        a later demand miss on it is a *reuse* miss (section 4.1.3)."""
+
+    def consume_miss_flags(self, l1_line: int) -> MissFlags:
+        """Called by the hierarchy at the moment of an L1D read miss,
+        *before* the refill clears the bookkeeping.  Returns (and clears)
+        the cause flags for *l1_line*."""
+        return NO_FLAGS

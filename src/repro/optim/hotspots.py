@@ -1,0 +1,105 @@
+"""Miss-hot-spot detection and prefetch insertion (section 6).
+
+The paper measures the data misses of every basic block, picks the 12 most
+active *miss hot spots* (5 loops and 7 sequences), and hand-inserts
+software prefetches: loop unrolling + software pipelining for the loops,
+prefetches hoisted as early as possible for the sequences — limited by
+when the address operands become available.
+
+:func:`find_hotspots` reproduces the measurement; :class:`HotspotPrefetcher`
+reproduces the insertion as a trace transformation: for each read issued
+by a hot basic block, a PREFETCH record is inserted ``lead`` records
+earlier in the same CPU's stream (clamped by the operand-availability
+horizon, drawn per insertion).  Prefetches of a line already prefetched a
+few records back are skipped, which keeps the instruction overhead to a
+few percent — the paper measured 3.2 %.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.common.rng import RngStream
+from repro.common.types import Op
+from repro.sim.metrics import SystemMetrics
+from repro.trace.record import TraceRecord, prefetch
+from repro.trace.stream import Trace
+
+
+def find_hotspots(metrics: SystemMetrics, count: int = 12) -> List[int]:
+    """The *count* basic blocks with the most OS data misses."""
+    return metrics.hottest_pcs(count)
+
+
+def hotspot_coverage(metrics: SystemMetrics, hot_pcs: Sequence[int]) -> float:
+    """Fraction of OS misses attributable to *hot_pcs* in a profiled run."""
+    total = sum(metrics.os_miss_pc.values())
+    if not total:
+        return 0.0
+    hot = sum(metrics.os_miss_pc.get(pc, 0) for pc in hot_pcs)
+    return hot / total
+
+
+class HotspotPrefetcher:
+    """Insert prefetches covering the reads of hot basic blocks."""
+
+    def __init__(self, hot_pcs: Sequence[int], lead: int = 24,
+                 min_lead: int = 6, line_bytes: int = 16,
+                 seed: int = 7) -> None:
+        self.hot_pcs = set(hot_pcs)
+        self.lead = lead
+        self.min_lead = min_lead
+        self.line_bytes = line_bytes
+        self.rng = RngStream(seed, "hotspot-prefetch")
+        self.inserted = 0
+        self.skipped_duplicates = 0
+
+    def apply(self, trace: Trace) -> Trace:
+        """Return a copy of *trace* with hot-spot prefetches inserted."""
+        out = Trace(trace.num_cpus, blockops=trace.blockops,
+                    symbols=trace.symbols,
+                    metadata={**trace.metadata, "hotspot_prefetch": 1})
+        for cpu, stream in enumerate(trace.streams):
+            out.streams[cpu] = self._rewrite_stream(stream)
+        return out
+
+    def _rewrite_stream(self, stream: List[TraceRecord]) -> List[TraceRecord]:
+        # First pass: for every hot read, choose its insertion point.
+        inserts: Dict[int, List[TraceRecord]] = {}
+        recent: Dict[int, int] = {}
+        for i, rec in enumerate(stream):
+            if rec.op != Op.READ or rec.pc not in self.hot_pcs:
+                continue
+            if rec.blockop:
+                continue  # block operations are handled by their scheme
+            line = rec.addr - rec.addr % self.line_bytes
+            last = recent.get(line)
+            if last is not None and i - last < self.lead:
+                self.skipped_duplicates += 1
+                continue
+            recent[line] = i
+            # Operand availability limits how far back the prefetch can
+            # be hoisted (paper: "the unavailability of the operands...
+            # limits how far back the prefetches can be pushed").
+            horizon = self.rng.randint(self.min_lead, self.lead)
+            at = max(0, i - horizon)
+            inserts.setdefault(at, []).append(
+                prefetch(rec.addr, mode=rec.mode, dclass=rec.dclass,
+                         pc=rec.pc, lead=i - at))
+            self.inserted += 1
+        if not inserts:
+            return list(stream)
+        # Second pass: rebuild the stream with insertions in place.
+        new_stream: List[TraceRecord] = []
+        for i, rec in enumerate(stream):
+            pending = inserts.get(i)
+            if pending:
+                new_stream.extend(pending)
+            new_stream.append(rec)
+        return new_stream
+
+
+def insert_hotspot_prefetches(trace: Trace, hot_pcs: Sequence[int],
+                              lead: int = 24) -> Trace:
+    """Convenience wrapper around :class:`HotspotPrefetcher`."""
+    return HotspotPrefetcher(hot_pcs, lead=lead).apply(trace)

@@ -1,0 +1,78 @@
+"""Selection of the update-protocol variable core (section 5.2).
+
+The paper applies the Firefly update protocol to three sets of variables —
+the barriers (48 bytes), the 10 most active locks, and 176 bytes of
+frequently-shared variables with producer-consumer behaviour — a 384-byte
+core that, being statically allocated, fits in one page.
+
+:func:`select_update_core` reproduces the *analysis*: given the metrics of
+a Base run it ranks synchronization/shared variables by coherence misses,
+keeps the profitable ones, and returns the page(s) containing them plus a
+report of what was chosen.  On the synthetic kernel the chosen variables
+all live in the layout's SYNC_PAGE, matching the paper's one-page outcome.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple
+
+from repro.common.types import DataClass
+from repro.sim.metrics import SystemMetrics
+from repro.trace.annotations import SymbolMap
+
+
+class UpdateSelection(NamedTuple):
+    """Outcome of the update-core analysis."""
+
+    #: Page-aligned addresses to run the update protocol on.
+    pages: List[int]
+    #: Chosen variable names, most coherence misses first.
+    variables: List[str]
+    #: Total bytes of chosen variables.
+    core_bytes: int
+    #: Coherence misses covered by the chosen variables.
+    covered_misses: int
+
+
+#: Data classes eligible for the update protocol.
+_ELIGIBLE = (DataClass.BARRIER_VAR, DataClass.LOCK_VAR, DataClass.FREQ_SHARED)
+
+
+def select_update_core(metrics: SystemMetrics, symbols: SymbolMap,
+                       page_bytes: int = 4096, max_locks: int = 10,
+                       min_misses: int = 2) -> UpdateSelection:
+    """Choose the variables (and pages) to run Firefly update on.
+
+    Barriers always qualify (their sharing pattern clearly favours
+    updates); locks are capped at the *max_locks* most active; frequently
+    shared variables qualify when they took at least *min_misses*
+    coherence misses in the profiling run.
+    """
+    misses_by_symbol: Dict[str, int] = {}
+    sym_of: Dict[str, object] = {}
+    for line, count in metrics.os_coh_addr.items():
+        sym = symbols.lookup(line)
+        if sym is None or sym.dclass not in _ELIGIBLE:
+            continue
+        misses_by_symbol[sym.name] = misses_by_symbol.get(sym.name, 0) + count
+        sym_of[sym.name] = sym
+
+    chosen: List[str] = []
+    locks_taken = 0
+    for name, count in sorted(misses_by_symbol.items(),
+                              key=lambda item: -item[1]):
+        sym = sym_of[name]
+        if sym.dclass == DataClass.BARRIER_VAR:
+            chosen.append(name)
+        elif sym.dclass == DataClass.LOCK_VAR:
+            if locks_taken < max_locks:
+                chosen.append(name)
+                locks_taken += 1
+        elif count >= min_misses:
+            chosen.append(name)
+
+    pages = sorted({sym_of[name].base - sym_of[name].base % page_bytes
+                    for name in chosen})
+    core_bytes = sum(sym_of[name].size for name in chosen)
+    covered = sum(misses_by_symbol[name] for name in chosen)
+    return UpdateSelection(pages, chosen, core_bytes, covered)

@@ -1,0 +1,23 @@
+"""Execution model: configurations, processors, metrics, the system loop."""
+
+from repro.sim.config import SystemConfig, standard_configs
+from repro.sim.metrics import BlockOpStats, MissTracker, SystemMetrics, TimeBreakdown
+from repro.sim.processor import ProcStatus, Processor, StepResult
+from repro.sim.sync import BarrierManager, LockTable
+from repro.sim.system import MultiprocessorSystem, simulate
+
+__all__ = [
+    "BarrierManager",
+    "BlockOpStats",
+    "LockTable",
+    "MissTracker",
+    "MultiprocessorSystem",
+    "ProcStatus",
+    "Processor",
+    "StepResult",
+    "SystemConfig",
+    "SystemMetrics",
+    "TimeBreakdown",
+    "simulate",
+    "standard_configs",
+]

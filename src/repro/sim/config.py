@@ -1,0 +1,86 @@
+"""System configurations: the eight machines of Figure 3.
+
+A :class:`SystemConfig` selects the machine geometry, the block-operation
+scheme, and which software optimizations are applied.  The optimizations
+map to the paper's bar names:
+
+=============  =========================================================
+Name           Meaning
+=============  =========================================================
+Base           plain machine of section 2.4
+Blk_Pref       software prefetch of block-op source data
+Blk_Bypass     block ops bypass both caches via line registers
+Blk_ByPref     bypass + 8-line prefetch buffer, destination writes cached
+Blk_Dma        DMA-like block ops on the bus, processor stalled
+BCoh_Reloc     Blk_Dma + data privatization and relocation
+BCoh_RelUp     BCoh_Reloc + Firefly update on the 384-byte variable core
+BCPref         BCoh_RelUp + prefetching at the 12 hottest miss spots
+=============  =========================================================
+
+``privatize`` and ``hotspot_prefetch`` are *trace transformations* applied
+by the experiment runner before simulation (they model kernel source
+changes); ``selective_update`` configures the coherence controller's
+Firefly pages; ``scheme`` changes how the processor executes block-op
+records.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+from repro.common.params import BASE_MACHINE, MachineParams
+from repro.common.types import Scheme
+
+
+@dataclasses.dataclass(frozen=True)
+class SystemConfig:
+    """One simulated system."""
+
+    name: str
+    machine: MachineParams = BASE_MACHINE
+    scheme: Scheme = Scheme.BASE
+    #: Apply the privatization/relocation trace transform (section 5.1).
+    privatize: bool = False
+    #: Run Firefly update on the selected variable core (section 5.2).
+    selective_update: bool = False
+    #: Run Firefly update on *every* OS/user variable — the pure-update
+    #: comparison point of section 5.2 ("the resulting number of
+    #: operating system data misses is only 1-3% higher than in a pure
+    #: update protocol, while it saves 31-52% of the update traffic").
+    pure_update: bool = False
+    #: Insert prefetches at the hottest miss spots (section 6).
+    hotspot_prefetch: bool = False
+    #: Software-pipelining depth, in L1 lines, for Blk_Pref.
+    pref_lead_lines: int = 8
+    #: Pipelining depth for Blk_ByPref; must stay below the 8-line
+    #: prefetch buffer's capacity or the lookahead insert evicts the very
+    #: line about to be read.
+    bypref_lead_lines: int = 6
+    #: Records of lead given to each inserted hot-spot prefetch.
+    hotspot_lead_records: int = 24
+
+    def with_machine(self, machine: MachineParams) -> "SystemConfig":
+        """Same configuration on different hardware (Figures 6 and 7)."""
+        return dataclasses.replace(self, machine=machine)
+
+    def renamed(self, name: str) -> "SystemConfig":
+        """Copy with a different display name."""
+        return dataclasses.replace(self, name=name)
+
+
+def standard_configs(machine: MachineParams = BASE_MACHINE) -> Dict[str, SystemConfig]:
+    """The eight systems of Figure 3, in the paper's order."""
+    return {
+        "Base": SystemConfig("Base", machine),
+        "Blk_Pref": SystemConfig("Blk_Pref", machine, Scheme.PREF),
+        "Blk_Bypass": SystemConfig("Blk_Bypass", machine, Scheme.BYPASS),
+        "Blk_ByPref": SystemConfig("Blk_ByPref", machine, Scheme.BYPREF),
+        "Blk_Dma": SystemConfig("Blk_Dma", machine, Scheme.DMA),
+        "BCoh_Reloc": SystemConfig("BCoh_Reloc", machine, Scheme.DMA,
+                                   privatize=True),
+        "BCoh_RelUp": SystemConfig("BCoh_RelUp", machine, Scheme.DMA,
+                                   privatize=True, selective_update=True),
+        "BCPref": SystemConfig("BCPref", machine, Scheme.DMA, privatize=True,
+                               selective_update=True, hotspot_prefetch=True),
+    }

@@ -1,0 +1,372 @@
+"""The in-order trace-driven processor model.
+
+Each processor consumes its CPU's trace stream record by record.  For every
+record it charges instruction execution and instruction-fetch stall, then
+performs the data access along the path selected by the system
+configuration — cached, prefetched, bypassed, or DMA for block operations —
+and reports times and misses to the metrics layer.
+
+Synchronization records interact with the shared lock table and barrier
+manager; a processor that cannot make progress returns a blocked status and
+the system scheduler advances simulated time for it.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Tuple
+
+from repro.common.errors import SimulationError
+from repro.common.types import Mode, Op, Scheme
+from repro.memsys.dma import run_dma
+from repro.memsys.hierarchy import CpuMemorySystem
+from repro.sim.config import SystemConfig
+from repro.sim.metrics import SystemMetrics
+from repro.sim.sync import BarrierManager, LockTable
+from repro.trace.blockop import BlockOpDescriptor, BlockOpRegistry
+from repro.trace.record import TraceRecord
+
+#: Cycles a spinning processor waits between lock retries.
+SPIN_QUANTUM = 16
+
+
+class ProcStatus(enum.Enum):
+    RUNNING = "running"
+    BLOCKED_LOCK = "blocked_lock"
+    WAITING_BARRIER = "waiting_barrier"
+    DONE = "done"
+
+
+class StepResult:
+    """Outcome of one :meth:`Processor.step` call."""
+
+    __slots__ = ("status", "lock_addr", "barrier_release")
+
+    def __init__(self, status: ProcStatus, lock_addr: int = 0,
+                 barrier_release: Optional[Tuple[int, List[int]]] = None) -> None:
+        self.status = status
+        self.lock_addr = lock_addr
+        self.barrier_release = barrier_release
+
+
+class Processor:
+    """One simulated CPU."""
+
+    def __init__(self, cpu_id: int, stream: List[TraceRecord],
+                 blockops: BlockOpRegistry, mem: CpuMemorySystem,
+                 metrics: SystemMetrics, config: SystemConfig,
+                 locks: LockTable, barriers: BarrierManager) -> None:
+        self.cpu_id = cpu_id
+        self.stream = stream
+        self.blockops = blockops
+        self.mem = mem
+        self.metrics = metrics
+        self.tracker = metrics.trackers[cpu_id]
+        self.config = config
+        self.locks = locks
+        self.barriers = barriers
+        self.pos = 0
+        self.time = 0
+        self.status = ProcStatus.RUNNING if stream else ProcStatus.DONE
+        self._blk_desc: Optional[BlockOpDescriptor] = None
+        self._blk_last_src_line = -1
+        self._barrier_rec: Optional[TraceRecord] = None
+
+    # ------------------------------------------------------------------
+    # Scheduling interface
+    # ------------------------------------------------------------------
+    def wake_from_barrier(self, release_time: int) -> None:
+        """Resume after a barrier episode completes."""
+        if self.status != ProcStatus.WAITING_BARRIER:
+            raise SimulationError(f"cpu {self.cpu_id} woken while not waiting")
+        rec = self._barrier_rec
+        assert rec is not None
+        wait = max(0, release_time - self.time)
+        self.metrics.add_time(Mode(rec.mode), sync=wait)
+        self.time = max(self.time, release_time)
+        # Re-read the barrier word the releaser just wrote (the spin-exit
+        # read): the invalidation protocol makes this a coherence miss.
+        res = self.mem.read(rec.addr, self.time)
+        self.metrics.record_read(self.cpu_id, rec, res, in_blockop=False)
+        self.metrics.add_time(Mode(rec.mode), exec_cycles=1, dread=res.stall,
+                              pref=res.pref_stall)
+        self.time = res.done
+        self._barrier_rec = None
+        self.status = ProcStatus.RUNNING
+
+    # ------------------------------------------------------------------
+    # Main step
+    # ------------------------------------------------------------------
+    def step(self) -> StepResult:
+        """Process the next record; returns the resulting status."""
+        if self.status != ProcStatus.RUNNING:
+            raise SimulationError(f"step on {self.status} cpu {self.cpu_id}")
+        if self.pos >= len(self.stream):
+            self.status = ProcStatus.DONE
+            return StepResult(ProcStatus.DONE)
+        rec = self.stream[self.pos]
+        op = rec.op
+
+        # A held lock blocks *before* the record is consumed; the system
+        # scheduler advances our clock (spinning) and retries.
+        if op == Op.LOCK_ACQ:
+            holder = self.locks.holder(rec.addr)
+            if holder is not None and holder != self.cpu_id:
+                return StepResult(ProcStatus.BLOCKED_LOCK, lock_addr=rec.addr)
+
+        self.pos += 1
+        mode = Mode(rec.mode)
+
+        # Instruction fetch and execution for this basic block.
+        istall = self.mem.ifetch(rec.pc, rec.icount, self.time) if rec.icount else 0
+        exec_cycles = rec.icount
+        t = self.time + exec_cycles + istall
+
+        if op == Op.READ:
+            t, extra_exec = self._do_read(rec, t)
+            exec_cycles += extra_exec
+        elif op == Op.WRITE:
+            t = self._do_write(rec, t)
+            exec_cycles += 1
+        elif op == Op.PREFETCH:
+            self.mem.prefetch_line(rec.addr, t)
+            self.metrics.record_prefetch_issued()
+        elif op == Op.LOCK_ACQ:
+            t = self._do_lock_acquire(rec, t)
+            exec_cycles += 2
+        elif op == Op.LOCK_REL:
+            t = self._do_lock_release(rec, t)
+            exec_cycles += 1
+        elif op == Op.BLOCK_START:
+            t = self._do_block_start(rec, t)
+        elif op == Op.BLOCK_END:
+            t = self._do_block_end(rec, t)
+        elif op == Op.BARRIER:
+            return self._do_barrier(rec, t, exec_cycles, istall)
+        else:  # pragma: no cover - enum is exhaustive
+            raise SimulationError(f"unhandled op {op}")
+
+        self.metrics.add_time(mode, exec_cycles=exec_cycles, imiss=istall)
+        if self._blk_desc is not None or op in (Op.BLOCK_START, Op.BLOCK_END):
+            self.metrics.record_block_exec(exec_cycles + istall)
+        self.time = t
+        if self.pos >= len(self.stream):
+            self.status = ProcStatus.DONE
+            return StepResult(ProcStatus.DONE)
+        return StepResult(ProcStatus.RUNNING)
+
+    # ------------------------------------------------------------------
+    # Data accesses
+    # ------------------------------------------------------------------
+    def _scheme(self) -> Scheme:
+        return self.config.scheme
+
+    def _do_read(self, rec: TraceRecord, t: int) -> Tuple[int, int]:
+        """Perform a data read; returns (completion, extra exec cycles)."""
+        mem = self.mem
+        extra_exec = 1
+        in_blockop = self._blk_desc is not None
+        scheme = self._scheme()
+        if rec.blockop and in_blockop and scheme in (Scheme.PREF, Scheme.BYPREF):
+            extra_exec += self._lookahead_prefetch(rec, t)
+        if rec.blockop and in_blockop and scheme in (Scheme.BYPASS, Scheme.BYPREF):
+            res = mem.read_bypass(rec.addr, t)
+        else:
+            res = mem.read(rec.addr, t)
+        self.metrics.record_read(self.cpu_id, rec, res, in_blockop)
+        self.metrics.add_time(Mode(rec.mode), dread=res.stall,
+                              pref=res.pref_stall)
+        return res.done, extra_exec
+
+    def _do_write(self, rec: TraceRecord, t: int) -> int:
+        mem = self.mem
+        in_blockop = self._blk_desc is not None
+        if rec.blockop and in_blockop and self._scheme() == Scheme.BYPASS:
+            res = mem.write_bypass(rec.addr, t)
+        else:
+            res = mem.write(rec.addr, t)
+        self.metrics.record_write(self.cpu_id, rec, res, in_blockop)
+        self.metrics.add_time(Mode(rec.mode), dwrite=res.stall)
+        return res.done
+
+    def _lookahead_prefetch(self, rec: TraceRecord, t: int) -> int:
+        """Software-pipelined source prefetch for Blk_Pref / Blk_ByPref.
+
+        On each new source line, prefetch the line ``lead`` lines ahead.
+        Returns the instruction overhead (one prefetch instruction).
+        """
+        desc = self._blk_desc
+        assert desc is not None
+        if not desc.is_copy or not desc.contains_src(rec.addr):
+            return 0
+        line_bytes = self.mem.machine.l1d.line_bytes
+        line = rec.addr - (rec.addr % line_bytes)
+        if line == self._blk_last_src_line:
+            return 0
+        self._blk_last_src_line = line
+        target = line + self._pref_lead() * line_bytes
+        if not desc.contains_src(target):
+            return 0
+        self._issue_block_prefetch(target, t)
+        return 1
+
+    def _pref_lead(self) -> int:
+        """Software-pipelining depth for the active block-op scheme."""
+        if self._scheme() == Scheme.BYPREF:
+            return self.config.bypref_lead_lines
+        return self.config.pref_lead_lines
+
+    def _issue_block_prefetch(self, addr: int, t: int) -> None:
+        if self._scheme() == Scheme.BYPREF:
+            self.mem.prefetch_into_buffer(addr, t)
+        else:
+            self.mem.prefetch_line(addr, t)
+        self.metrics.record_prefetch_issued()
+
+    # ------------------------------------------------------------------
+    # Block operations
+    # ------------------------------------------------------------------
+    def _do_block_start(self, rec: TraceRecord, t: int) -> int:
+        desc = self.blockops.get(rec.blockop)
+        self._measure_block_start(desc)
+        scheme = self._scheme()
+        if scheme == Scheme.DMA:
+            return self._do_block_dma(rec, desc, t)
+        self._blk_desc = desc
+        self._blk_last_src_line = -1
+        self.mem.in_blockop = True
+        self.mem.bypass_l2_wide = scheme == Scheme.BYPREF
+        self.tracker.in_blockop = True
+        if scheme in (Scheme.PREF, Scheme.BYPREF) and desc.is_copy:
+            # Prolog: prefetch the first `lead` source lines back-to-back.
+            line_bytes = self.mem.machine.l1d.line_bytes
+            for i in range(self._pref_lead()):
+                addr = desc.src + i * line_bytes
+                if not desc.contains_src(addr):
+                    break
+                self._issue_block_prefetch(addr, t)
+                t += 1
+                self.metrics.add_time(Mode(rec.mode), exec_cycles=1)
+        return t
+
+    def _do_block_dma(self, rec: TraceRecord, desc: BlockOpDescriptor,
+                      t: int) -> int:
+        """Run the operation on the DMA engine and skip its word records."""
+        result = run_dma(self.mem, desc, t)
+        stall = result.done - t
+        self.metrics.record_dma(stall)
+        # The paper assigns the whole DMA stall to D Read Miss.
+        self.metrics.add_time(Mode(rec.mode), dread=stall)
+        self.metrics.record_block_exec(stall)
+        # Skip the word-level records; the engine replaced them.
+        while self.pos < len(self.stream):
+            skipped = self.stream[self.pos]
+            self.pos += 1
+            if skipped.op == Op.BLOCK_END:
+                break
+        else:
+            raise SimulationError(
+                f"cpu {self.cpu_id}: block op {desc.op_id} missing BLOCK_END")
+        return result.done
+
+    def _do_block_end(self, rec: TraceRecord, t: int) -> int:
+        stall = self.mem.end_block_op(t)
+        if stall:
+            self.metrics.add_time(Mode(rec.mode), dwrite=stall)
+        self._blk_desc = None
+        self._blk_last_src_line = -1
+        self.mem.in_blockop = False
+        self.tracker.in_blockop = False
+        return t + stall
+
+    def _measure_block_start(self, desc: BlockOpDescriptor) -> None:
+        """Table 3 instrumentation: line residency right before the op."""
+        mem = self.mem
+        l1_bytes = mem.machine.l1d.line_bytes
+        l2_bytes = mem.machine.l2.line_bytes
+        src_cached = src_total = 0
+        if desc.is_copy:
+            addr = desc.src - (desc.src % l1_bytes)
+            while addr < desc.src + desc.size:
+                src_total += 1
+                if mem.l1d.present(addr):
+                    src_cached += 1
+                addr += l1_bytes
+        dst_owned = dst_shared = dst_total = 0
+        addr = desc.dst - (desc.dst % l2_bytes)
+        from repro.memsys.states import LineState
+        while addr < desc.dst + desc.size:
+            dst_total += 1
+            state = mem.l2.state_of(addr)
+            if state in (LineState.EXCLUSIVE, LineState.MODIFIED):
+                dst_owned += 1
+            elif state == LineState.SHARED:
+                dst_shared += 1
+            addr += l2_bytes
+        self.metrics.record_block_start(self.cpu_id, desc, src_cached,
+                                        src_total, dst_owned, dst_shared,
+                                        dst_total)
+
+    # ------------------------------------------------------------------
+    # Synchronization
+    # ------------------------------------------------------------------
+    def _do_lock_acquire(self, rec: TraceRecord, t: int) -> int:
+        ok, grant = self.locks.try_acquire(rec.addr, self.cpu_id, t)
+        if not ok:  # pragma: no cover - step() checked before consuming
+            raise SimulationError("lock acquired while held")
+        if grant > t:
+            self.metrics.add_time(Mode(rec.mode), sync=grant - t)
+            t = grant
+        # The RMW on the lock word: read (possibly a coherence miss on a
+        # lock previously held elsewhere) then write (invalidates sharers).
+        res = self.mem.read(rec.addr, t)
+        self.metrics.record_read(self.cpu_id, rec, res,
+                                 self._blk_desc is not None)
+        self.metrics.add_time(Mode(rec.mode), dread=res.stall,
+                              pref=res.pref_stall)
+        wres = self.mem.write(rec.addr, res.done)
+        self.metrics.record_write(self.cpu_id, rec, wres, False)
+        self.metrics.add_time(Mode(rec.mode), dwrite=wres.stall)
+        return wres.done
+
+    def _do_lock_release(self, rec: TraceRecord, t: int) -> int:
+        # Release consistency: all buffered writes drain first.
+        drained = self.mem.drain_writes(t)
+        if drained > t:
+            self.metrics.add_time(Mode(rec.mode), dwrite=drained - t)
+            t = drained
+        res = self.mem.write(rec.addr, t)
+        self.metrics.record_write(self.cpu_id, rec, res, False)
+        self.metrics.add_time(Mode(rec.mode), dwrite=res.stall)
+        self.locks.release(rec.addr, self.cpu_id, res.done)
+        return res.done
+
+    def _do_barrier(self, rec: TraceRecord, t: int, exec_cycles: int,
+                    istall: int) -> StepResult:
+        mode = Mode(rec.mode)
+        drained = self.mem.drain_writes(t)
+        if drained > t:
+            self.metrics.add_time(mode, dwrite=drained - t)
+            t = drained
+        # Arrival: read-modify-write of the barrier word.
+        res = self.mem.read(rec.addr, t)
+        self.metrics.record_read(self.cpu_id, rec, res, False)
+        self.metrics.add_time(mode, dread=res.stall, pref=res.pref_stall)
+        wres = self.mem.write(rec.addr, res.done)
+        self.metrics.record_write(self.cpu_id, rec, wres, False)
+        self.metrics.add_time(mode, dwrite=wres.stall,
+                              exec_cycles=exec_cycles + 2, imiss=istall)
+        t = wres.done
+        self.time = t
+        outcome = self.barriers.arrive(rec.addr, rec.arg, self.cpu_id, t)
+        if outcome is None:
+            self._barrier_rec = rec
+            self.status = ProcStatus.WAITING_BARRIER
+            return StepResult(ProcStatus.WAITING_BARRIER)
+        release, waiters = outcome
+        self.metrics.add_time(mode, sync=max(0, release - t))
+        self.time = max(t, release)
+        if self.pos >= len(self.stream):
+            self.status = ProcStatus.DONE
+            return StepResult(ProcStatus.DONE, barrier_release=outcome)
+        return StepResult(ProcStatus.RUNNING, barrier_release=outcome)

@@ -1,0 +1,120 @@
+"""The multiprocessor system: wiring and the time-ordered scheduling loop.
+
+A :class:`MultiprocessorSystem` builds the shared bus, the coherence
+controller, one :class:`~repro.memsys.hierarchy.CpuMemorySystem` and
+:class:`~repro.sim.processor.Processor` per CPU, and runs all trace streams
+to completion.  Scheduling always advances the runnable processor with the
+smallest local clock, which keeps bus reservations in approximately global
+time order and preserves the mutual exclusion of the traced critical
+sections.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.common.errors import DeadlockError, SimulationError
+from repro.common.types import Mode, Op
+from repro.memsys.bus import Bus
+from repro.memsys.coherence import CoherenceController
+from repro.memsys.hierarchy import CpuMemorySystem
+from repro.sim.config import SystemConfig
+from repro.sim.metrics import SystemMetrics
+from repro.sim.processor import ProcStatus, Processor, SPIN_QUANTUM
+from repro.sim.sync import BarrierManager, LockTable
+from repro.trace.stream import Trace
+
+#: Consecutive failed lock retries after which we declare deadlock.
+MAX_SPIN_RETRIES = 1_000_000
+
+
+class MultiprocessorSystem:
+    """One simulated machine running one trace under one configuration."""
+
+    def __init__(self, trace: Trace, config: SystemConfig,
+                 update_pages: Optional[Iterable[int]] = None,
+                 hotspot_pcs: Optional[Iterable[int]] = None) -> None:
+        if trace.num_cpus > config.machine.num_cpus:
+            raise SimulationError(
+                f"trace has {trace.num_cpus} CPUs, machine only "
+                f"{config.machine.num_cpus}")
+        self.trace = trace
+        self.config = config
+        machine = config.machine
+        self.bus = Bus(machine.bus)
+        self.controller = CoherenceController(machine, self.bus)
+        self.metrics = SystemMetrics(trace.num_cpus, machine.page_bytes)
+        if hotspot_pcs:
+            self.metrics.hotspot_pcs = set(hotspot_pcs)
+        if config.pure_update:
+            self.controller.update_everywhere = True
+        elif config.selective_update and update_pages:
+            self.controller.set_update_pages(update_pages)
+        self.locks = LockTable()
+        self.barriers = BarrierManager(machine.barrier_release_cycles)
+        self.memories: List[CpuMemorySystem] = []
+        self.processors: List[Processor] = []
+        for cpu in range(trace.num_cpus):
+            mem = CpuMemorySystem(machine, self.bus, self.controller,
+                                  self.metrics.trackers[cpu])
+            self.memories.append(mem)
+            self.processors.append(
+                Processor(cpu, trace.streams[cpu], trace.blockops, mem,
+                          self.metrics, config, self.locks, self.barriers))
+        self._spin_retries = [0] * trace.num_cpus
+
+    def run(self) -> SystemMetrics:
+        """Run every stream to completion; returns the filled metrics."""
+        procs = self.processors
+        while True:
+            runnable = [p for p in procs if p.status == ProcStatus.RUNNING]
+            if not runnable:
+                if all(p.status == ProcStatus.DONE for p in procs):
+                    break
+                waiting = [p.cpu_id for p in procs
+                           if p.status == ProcStatus.WAITING_BARRIER]
+                raise DeadlockError(
+                    f"no runnable processor; cpus {waiting} wait at barriers")
+            proc = min(runnable, key=lambda p: p.time)
+            result = proc.step()
+            if result.status == ProcStatus.BLOCKED_LOCK:
+                self._spin(proc, result.lock_addr)
+            else:
+                self._spin_retries[proc.cpu_id] = 0
+            if result.barrier_release is not None:
+                release, waiters = result.barrier_release
+                for cpu in waiters:
+                    procs[cpu].wake_from_barrier(release)
+        self.metrics.finalize([p.time for p in procs])
+        self.metrics.capture_system_stats(self.bus, self.controller,
+                                          self.locks, self.barriers)
+        return self.metrics
+
+    def _spin(self, proc: Processor, lock_addr: int) -> None:
+        """Advance a lock-spinning processor's clock past the holder's."""
+        holder = self.locks.holder(lock_addr)
+        if holder is None:
+            return  # Released in the meantime; retry immediately.
+        self._spin_retries[proc.cpu_id] += 1
+        if self._spin_retries[proc.cpu_id] > MAX_SPIN_RETRIES:
+            raise DeadlockError(
+                f"cpu {proc.cpu_id} spun too long on lock {lock_addr:#x} "
+                f"held by cpu {holder}")
+        self.locks.note_contention()
+        holder_time = self.processors[holder].time
+        target = max(proc.time + SPIN_QUANTUM, holder_time + 1)
+        rec = proc.stream[proc.pos]
+        self.metrics.add_time(Mode(rec.mode), sync=target - proc.time)
+        proc.time = target
+
+    def check_invariants(self) -> None:
+        """Coherence/inclusion invariants (property tests call this)."""
+        self.controller.check_invariants()
+
+
+def simulate(trace: Trace, config: SystemConfig,
+             update_pages: Optional[Iterable[int]] = None,
+             hotspot_pcs: Optional[Iterable[int]] = None) -> SystemMetrics:
+    """Convenience wrapper: build a system, run it, return the metrics."""
+    system = MultiprocessorSystem(trace, config, update_pages, hotspot_pcs)
+    return system.run()

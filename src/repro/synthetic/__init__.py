@@ -1,0 +1,34 @@
+"""Synthetic multiprocessor-OS workload generation (trace substitution)."""
+
+from repro.synthetic.kernel import Kernel, Process
+from repro.synthetic.layout import (
+    HOTSPOT_BLOCKS,
+    KERNEL_PC,
+    KernelLayout,
+    PAGE,
+)
+from repro.synthetic.workloads import (
+    WORKLOAD_ORDER,
+    WORKLOADS,
+    generate,
+    generate_arc2d_fsck,
+    generate_shell,
+    generate_trfd4,
+    generate_trfd_make,
+)
+
+__all__ = [
+    "HOTSPOT_BLOCKS",
+    "KERNEL_PC",
+    "Kernel",
+    "KernelLayout",
+    "PAGE",
+    "Process",
+    "WORKLOADS",
+    "WORKLOAD_ORDER",
+    "generate",
+    "generate_arc2d_fsck",
+    "generate_shell",
+    "generate_trfd4",
+    "generate_trfd_make",
+]

@@ -1,0 +1,340 @@
+"""Operating-system services of the synthetic kernel.
+
+Each function emits the reference stream of one kernel service on one CPU,
+mirroring the activities the paper names: page-fault handling (with page
+zeroing or page-in copies), process creation (fork's page copies — the
+source of the copy chains behind *inside reuses*), exec, context switching,
+scheduling, timer/accounting interrupts, cross-processor interrupts, and
+the file-I/O paths that move data through the buffer cache.
+
+The basic-block pcs are chosen so the 12 hot spots of section 6 (five
+loops, seven sequences) are exactly the blocks the paper lists.
+"""
+
+from __future__ import annotations
+
+from repro.common.types import DataClass, Mode
+from repro.synthetic import layout as lay
+from repro.synthetic.kernel import Kernel, Process
+from repro.synthetic.layout import PAGE
+
+
+def page_fault(k: Kernel, cpu: int, proc: Process, *,
+               copy_from: int = 0) -> int:
+    """Handle a page fault for *proc*; returns the frame mapped in.
+
+    With ``copy_from`` non-zero the new page is filled by a block copy from
+    that address (page-in / copy-on-write); otherwise it is zero-filled.
+    """
+    # Trap entry and fault decoding.
+    k.read(cpu, k.layout.proc_entry(proc.pid), DataClass.PROC_TABLE,
+           "fault_entry", icount=6)
+    # Find a free frame: freelist walk (hot-spot loop) under the
+    # physical-memory allocation lock.  The colored allocator (section
+    # 7's page-placement extension) spreads the process's pages over the
+    # cache and keeps a copy's destination off its source's color.
+    k.lock(cpu, "memalloc_lock")
+    k.freelist_walk(cpu, steps=k.rng.randint(2, 8))
+    if k.frame_policy == "colored":
+        color = (proc.pid * 7 + proc.next_pte) % k.NUM_COLORS
+        if copy_from and k.frame_color(copy_from) % 8 == color % 8:
+            color = (color + 1) % k.NUM_COLORS
+        frame = k.alloc_frame(color=color)
+    else:
+        frame = k.alloc_frame()
+    k.unlock(cpu, "memalloc_lock")
+    # Map it: PTE initialization loop (hot-spot loop).
+    k.pte_loop(cpu, proc.pid, proc.next_pte, count=k.rng.randint(2, 6),
+               block="pte_init_loop", writes=True)
+    proc.next_pte += 1
+    # Fill the page.
+    if copy_from:
+        if k.rng.chance(0.6):
+            k.readahead_touch(cpu, copy_from, PAGE,
+                              fraction=k.rng.choice([0.4, 0.6, 0.8]))
+        k.block_copy(cpu, src=copy_from, dst=frame, size=PAGE,
+                     src_dclass=DataClass.PAGE_FRAME)
+    else:
+        k.block_zero(cpu, dst=frame, size=PAGE)
+    proc.frames.append(frame)
+    k.bump_counter(cpu, "v_pgfault", block="fault_exit")
+    k.read(cpu, k.layout.proc_entry(proc.pid) + 16, DataClass.PROC_TABLE,
+           "fault_exit", icount=4)
+    return frame
+
+
+def fork(k: Kernel, cpu: int, parent: Process, *, copy_pages: int = 2,
+         page_size: bool = True) -> Process:
+    """Create a child of *parent*, copying page tables and data pages.
+
+    The data-page copies read the parent's most recently written frames —
+    which are often the *destinations* of an earlier copy, reproducing the
+    fork-fork copy chains of section 4.1.3.
+    """
+    child = k.spawn(parent.pid)
+    k.lock(cpu, "proc_lock")
+    k.write(cpu, k.layout.proc_entry(child.pid), DataClass.PROC_TABLE,
+            "fork_entry", icount=8)
+    k.touch_freq_shared(cpu, "resource_ptrs", write=True, block="fork_entry")
+    k.unlock(cpu, "proc_lock")
+    # Copy the parent's page-table entries (hot-spot loop).
+    k.pte_loop(cpu, parent.pid, 0, count=k.rng.randint(4, 10),
+               block="pte_copy_loop", writes=False)
+    k.pte_loop(cpu, child.pid, 0, count=k.rng.randint(4, 10),
+               block="pte_copy_loop", writes=True)
+    # Copy data pages parent -> child.
+    size = PAGE if page_size else k.rng.choice([128, 256, 512, 1024, 2048])
+    for i in range(copy_pages):
+        if parent.frames:
+            src = parent.frames[-1 - (i % len(parent.frames))]
+        else:
+            src = k.alloc_frame()
+        dst = k.alloc_frame()
+        k.block_copy(cpu, src=src, dst=dst, size=size,
+                     src_dclass=DataClass.PAGE_FRAME)
+        child.frames.append(dst)
+    k.bump_counter(cpu, "v_fork")
+    return child
+
+
+def exec_image(k: Kernel, cpu: int, proc: Process, *, arg_bytes: int = 0,
+               zero_pages: int = 1) -> None:
+    """Overlay *proc* with a new image: zero BSS pages, copy arguments."""
+    k.write(cpu, k.layout.proc_entry(proc.pid) + 32, DataClass.PROC_TABLE,
+            "exec_entry", icount=10)
+    if arg_bytes:
+        # Argument strings: a small block copy from the caller's stack
+        # page — usually the destination of a recent fork copy.
+        src = proc.frames[-1] if proc.frames else k.layout.buffer(0)
+        dst = k.alloc_frame()
+        k.block_copy(cpu, src=src, dst=dst, size=arg_bytes,
+                     src_dclass=DataClass.BUFFER)
+        proc.frames.append(dst)
+    for _ in range(zero_pages):
+        frame = k.alloc_frame()
+        k.block_zero(cpu, dst=frame, size=PAGE)
+        proc.frames.append(frame)
+    k.pte_loop(cpu, proc.pid, 0, count=k.rng.randint(3, 8),
+               block="pte_init_loop", writes=True)
+    k.bump_counter(cpu, "v_exec")
+
+
+def file_io(k: Kernel, cpu: int, proc: Process, size: int, *,
+            is_write: bool = False, buf: int = -1) -> None:
+    """read()/write() through the buffer cache: header work + block copy.
+
+    ``buf`` pins the buffer (sequential access to one file); otherwise a
+    random buffer is used (cold file).
+    """
+    k.read(cpu, k.layout.freq_shared("resource_ptrs") + 8 * (proc.pid % 8),
+           DataClass.FREQ_SHARED, "io_entry", icount=5)
+    k.lock(cpu, "buffer_lock")
+    if buf < 0:
+        buf = k.layout.buffer(k.rng.randint(0, lay.NUM_BUFFERS - 1))
+    k.read(cpu, buf, DataClass.BUFFER, "io_entry", icount=4)
+    k.unlock(cpu, "buffer_lock")
+    if not proc.frames:
+        proc.frames.append(k.alloc_frame())
+    user_page = proc.frames[proc.pid % len(proc.frames)]
+    if is_write:
+        k.block_copy(cpu, src=user_page, dst=buf, size=size,
+                     src_dclass=DataClass.PAGE_FRAME,
+                     dst_dclass=DataClass.BUFFER, block="io_copyloop")
+        k.bump_counter(cpu, "v_write", block="io_entry")
+    else:
+        if k.rng.chance(0.5):
+            k.readahead_touch(cpu, buf, size,
+                              fraction=k.rng.choice([0.4, 0.6, 0.8]))
+        k.block_copy(cpu, src=buf, dst=user_page, size=size,
+                     src_dclass=DataClass.BUFFER,
+                     dst_dclass=DataClass.PAGE_FRAME, block="io_copyloop")
+        k.bump_counter(cpu, "v_read", block="io_entry")
+
+
+def syscall(k: Kernel, cpu: int, proc: Process, nr: int) -> None:
+    """System-call entry: trap sequence + dispatch-table read (hot spot)."""
+    k.read(cpu, lay.SYSCALL_TABLE + (nr % 256) * 4, DataClass.SYSCALL_TABLE,
+           "trap_syscall_seq", icount=8)
+    k.read(cpu, k.layout.proc_entry(proc.pid) + 48, DataClass.PROC_TABLE,
+           "trap_syscall_seq", icount=6)
+    k.bump_counter(cpu, "v_syscall", block="trap_syscall_seq")
+
+
+def context_switch(k: Kernel, cpu: int, old: Process, new: Process) -> None:
+    """Switch *cpu* from *old* to *new* (hot-spot sequences)."""
+    k.lock(cpu, "sched_lock")
+    k.read(cpu, lay.SCHED_BASE, DataClass.SCHED, "sched_seq", icount=6)
+    k.touch_freq_shared(cpu, "runq_length", write=True, block="sched_seq")
+    k.read(cpu, k.layout.proc_entry(new.pid), DataClass.PROC_TABLE,
+           "sched_seq", icount=5)
+    k.unlock(cpu, "sched_lock")
+    # Save old context, restore new (resume sequence).
+    k.write(cpu, k.layout.proc_entry(old.pid) + 64, DataClass.PROC_TABLE,
+            "ctxsw_seq", icount=10)
+    k.read(cpu, k.layout.proc_entry(new.pid) + 64, DataClass.PROC_TABLE,
+           "resume_seq", icount=10)
+    k.write(cpu, lay.SCHED_BASE + 32 + cpu * 8, DataClass.SCHED,
+            "resume_seq", icount=4)
+    k.bump_counter(cpu, "v_swtch", block="ctxsw_seq")
+    k.running[cpu] = new.pid
+
+
+def timer_interrupt(k: Kernel, cpu: int) -> None:
+    """Clock tick: timer sequence + accounting (hot-spot sequence)."""
+    k.read(cpu, lay.TIMER_BASE, DataClass.TIMER, "timer_seq", icount=6)
+    k.write(cpu, lay.TIMER_BASE + 8, DataClass.TIMER, "timer_seq", icount=3)
+    k.lock(cpu, "accounting_lock")
+    k.write(cpu, lay.TIMER_BASE + 64 + cpu * 16, DataClass.TIMER,
+            "timer_seq", icount=4)
+    k.unlock(cpu, "accounting_lock")
+
+
+def cross_interrupt(k: Kernel, sender: int, receiver: int) -> None:
+    """Cross-processor interrupt: sender posts, receiver dispatches."""
+    k.touch_freq_shared(sender, "cpievents", write=True, block="intr_seq")
+    k.touch_freq_shared(receiver, "cpievents", False, "intr_seq")
+    k.read(receiver, lay.SCHED_BASE + 16, DataClass.SCHED, "intr_seq",
+           icount=8)
+    k.bump_counter(receiver, "v_intr", block="intr_seq")
+    k.bump_counter(receiver, "v_xcall", block="intr_seq")
+
+
+def pager_scan(k: Kernel, cpu: int) -> None:
+    """The pager: reads every event counter, scans PTEs (hot-spot loop),
+    and reclaims a few frames onto the free list (so future page faults
+    reuse warm frames — the owned destination lines of Table 3)."""
+    k.read_all_counters(cpu, block="pte_scan_loop")
+    procs = list(k.processes.values())
+    for _ in range(min(1, len(procs))):
+        victim = k.rng.choice(procs)
+        k.pte_loop(cpu, victim.pid, k.rng.randint(0, 64),
+                   count=k.rng.randint(6, 16), block="pte_scan_loop",
+                   writes=False)
+        if len(victim.frames) > 1:
+            take = k.rng.randint(1, min(3, len(victim.frames) - 1))
+            reclaimed = victim.frames[-take:]
+            del victim.frames[-take:]
+            for frame in reclaimed:
+                if k.rng.chance(0.45):
+                    # Dirty page: write it out through the buffer cache.
+                    # The frame is usually the *destination* of an earlier
+                    # fault copy — the copy chains behind inside reuses.
+                    buf = k.layout.buffer(k.rng.randint(0, lay.NUM_BUFFERS - 1))
+                    k.block_copy(cpu, src=frame, dst=buf, size=PAGE,
+                                 src_dclass=DataClass.PAGE_FRAME,
+                                 dst_dclass=DataClass.BUFFER,
+                                 block="pageout_code")
+            k.free_frames(reclaimed)
+    k.touch_freq_shared(cpu, "pageout_target", write=True,
+                        block="pte_scan_loop")
+
+
+def process_exit(k: Kernel, cpu: int, proc: Process) -> None:
+    """Teardown: unmap PTEs (hot-spot loop), free frames, reap entry."""
+    k.pte_loop(cpu, proc.pid, 0, count=min(8, 2 + len(proc.frames)),
+               block="pte_unmap_loop", writes=True)
+    k.lock(cpu, "memalloc_lock")
+    for frame in proc.frames[:4]:
+        k.write(cpu, k.layout.freelist_node(frame // PAGE),
+                DataClass.FREELIST, "exit_seq", icount=2)
+    k.touch_freq_shared(cpu, "freelist_size", write=True, block="exit_seq")
+    k.unlock(cpu, "memalloc_lock")
+    k.lock(cpu, "proc_lock")
+    k.write(cpu, k.layout.proc_entry(proc.pid), DataClass.PROC_TABLE,
+            "exit_seq", icount=6)
+    k.unlock(cpu, "proc_lock")
+    k.free_frames(proc.frames)
+    k.processes.pop(proc.pid, None)
+
+
+def network_receive(k: Kernel, cpu: int, proc: Process, size: int) -> None:
+    """Receive a network packet (the rsh/network traffic of Shell).
+
+    The driver copies the packet from the interface ring into an mbuf,
+    the protocol stack walks the headers, and ``soreceive`` copies the
+    payload into the user's buffer — two chained block copies (the mbuf
+    written by the first copy is the source of the second), exactly the
+    pattern behind section 4.1.3's inside reuses.
+    """
+    slot = k.layout.nic_slot(k.rng.randint(0, lay.NUM_NIC_SLOTS - 1))
+    mbuf = k.layout.mbuf(k.rng.randint(0, lay.NUM_MBUFS - 1))
+    size = min(size, lay.MBUF_BYTES)
+    k.lock(cpu, "network_lock")
+    k.read(cpu, slot, DataClass.BUFFER, "intr_seq", icount=6)
+    k.block_copy(cpu, src=slot, dst=mbuf, size=size,
+                 src_dclass=DataClass.BUFFER, dst_dclass=DataClass.BUFFER,
+                 block="pipe_code")
+    k.unlock(cpu, "network_lock")
+    # Protocol processing: header walks over the fresh mbuf.
+    for off in range(0, min(64, size), 8):
+        k.read(cpu, mbuf + off, DataClass.BUFFER, "select_code", icount=4)
+    if not proc.frames:
+        proc.frames.append(k.alloc_frame())
+    user_page = proc.frames[-1]
+    k.block_copy(cpu, src=mbuf, dst=user_page, size=size,
+                 src_dclass=DataClass.BUFFER,
+                 dst_dclass=DataClass.PAGE_FRAME, block="io_copyloop")
+    k.bump_counter(cpu, "v_intr", block="intr_seq")
+    k.bump_counter(cpu, "v_io_done", block="intr_seq")
+
+
+def network_send(k: Kernel, cpu: int, proc: Process, size: int) -> None:
+    """Send a packet: user buffer -> mbuf -> interface ring."""
+    mbuf = k.layout.mbuf(k.rng.randint(0, lay.NUM_MBUFS - 1))
+    slot = k.layout.nic_slot(k.rng.randint(0, lay.NUM_NIC_SLOTS - 1))
+    size = min(size, lay.MBUF_BYTES)
+    if not proc.frames:
+        proc.frames.append(k.alloc_frame())
+    user_page = proc.frames[-1]
+    k.block_copy(cpu, src=user_page, dst=mbuf, size=size,
+                 src_dclass=DataClass.PAGE_FRAME,
+                 dst_dclass=DataClass.BUFFER, block="io_copyloop")
+    for off in range(0, min(48, size), 8):
+        k.write(cpu, mbuf + off, DataClass.BUFFER, "select_code", icount=3)
+    k.lock(cpu, "network_lock")
+    k.block_copy(cpu, src=mbuf, dst=slot, size=size,
+                 src_dclass=DataClass.BUFFER, dst_dclass=DataClass.BUFFER,
+                 block="pipe_code")
+    k.unlock(cpu, "network_lock")
+    k.bump_counter(cpu, "v_write", block="intr_seq")
+
+
+def pipe_transfer(k: Kernel, cpu: int, writer: Process, reader: Process,
+                  size: int) -> None:
+    """Move *size* bytes through a pipe: writer page -> pipe buffer ->
+    reader page.  The pipe buffer written by the first copy is the source
+    of the second — another inside-reuse chain."""
+    pipe_buf = k.layout.mbuf(k.rng.randint(0, lay.NUM_MBUFS - 1))
+    size = min(size, lay.MBUF_BYTES)
+    for proc in (writer, reader):
+        if not proc.frames:
+            proc.frames.append(k.alloc_frame())
+    k.lock(cpu, "file_lock")
+    k.block_copy(cpu, src=writer.frames[-1], dst=pipe_buf, size=size,
+                 src_dclass=DataClass.PAGE_FRAME,
+                 dst_dclass=DataClass.BUFFER, block="pipe_code")
+    k.unlock(cpu, "file_lock")
+    k.block_copy(cpu, src=pipe_buf, dst=reader.frames[-1], size=size,
+                 src_dclass=DataClass.BUFFER,
+                 dst_dclass=DataClass.PAGE_FRAME, block="pipe_code")
+    k.bump_counter(cpu, "v_read", block="pipe_code")
+
+
+def signal_delivery(k: Kernel, cpu: int, proc: Process) -> None:
+    """Deliver a signal: proc-table bookkeeping plus a small sigcontext
+    copy onto the user stack (one of the kernel's many sub-page copies)."""
+    k.lock(cpu, "proc_lock")
+    k.read(cpu, k.layout.proc_entry(proc.pid) + 96, DataClass.PROC_TABLE,
+           "trap_syscall_seq", icount=6)
+    k.write(cpu, k.layout.proc_entry(proc.pid) + 96, DataClass.PROC_TABLE,
+            "trap_syscall_seq", icount=3)
+    k.unlock(cpu, "proc_lock")
+    if not proc.frames:
+        proc.frames.append(k.alloc_frame())
+    stack_page = proc.frames[0]
+    src = k.layout.proc_entry(proc.pid)
+    k.block_copy(cpu, src=src, dst=stack_page + 3840,
+                 size=k.rng.choice([128, 192, 256]),
+                 src_dclass=DataClass.PROC_TABLE,
+                 dst_dclass=DataClass.PAGE_FRAME, block="trap_syscall_seq")
+    k.bump_counter(cpu, "v_trap", block="trap_syscall_seq")

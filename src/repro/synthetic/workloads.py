@@ -1,0 +1,406 @@
+"""The four system-intensive workloads of section 2.3.
+
+Each generator composes the kernel services and application models into a
+round-based scenario:
+
+* **TRFD_4** — four instances of hand-parallelized TRFD, 16 processes,
+  gang-scheduled: matrix arithmetic punctuated by barriers, page faults,
+  cross-processor interrupts and program switches.
+* **TRFD+Make** — one TRFD instance interleaved with four parallel
+  compilations (cc1): a parallel/serial mix forcing frequent changes of
+  regime, cross-processor interrupts, forks/execs and substantial paging.
+* **ARC2D+Fsck** — four gang-scheduled copies of ARC2D plus one Fsck job
+  with a wide variety of I/O sizes.
+* **Shell** — a heavily multiprogrammed shell script (21 background jobs):
+  process creation/termination, small block operations, scheduler and
+  VM activity, no gang barriers.
+
+Rates below were calibrated so the Base simulation reproduces the shapes
+of Tables 1-5 (OS time share, miss-category split, block-size
+distribution, coherence-source split).  ``scale`` multiplies the number of
+rounds; the reported quantities are ratios, so they are stable from about
+``scale = 0.25`` upward.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.common.rng import RngStream
+from repro.synthetic import apps, services
+from repro.synthetic.kernel import Kernel, Process
+from repro.trace.stream import Trace
+
+#: Number of CPUs of the traced machine.
+NUM_CPUS = 4
+
+WorkloadFn = Callable[[int, float], Trace]
+
+
+def _make_kernel(name: str, seed: int, scale: float,
+                 frame_policy: str = "default") -> Kernel:
+    rng = RngStream(seed, name)
+    return Kernel(NUM_CPUS, rng,
+                  metadata={"workload": name, "seed": seed, "scale": scale,
+                            "frame_policy": frame_policy},
+                  frame_policy=frame_policy)
+
+
+def _current_buffer(k: Kernel, cpu: int, switch_prob: float = 0.2) -> int:
+    """The buffer holding the file *cpu* is currently paging from.
+
+    Page-ins read the same file buffer repeatedly (sequential file
+    access), so source blocks are often already cached (Table 3 row 1);
+    occasionally the job moves to another file.
+    """
+    if k.rng.chance(switch_prob):
+        k.file_buffer[cpu] = k.rng.randint(0, 5)
+    return k.layout.buffer(k.file_buffer[cpu])
+
+
+def _fault_if_needed(k: Kernel, cpu: int, proc: Process, target: int,
+                     copy_prob: float, steady_prob: float = 0.05,
+                     chain_prob: float = 0.4) -> None:
+    """Fault a page in when the process is below its resident target.
+
+    ``copy_prob`` selects page-in copies over zero fills.  A page-in
+    reads either the CPU's current file buffer (sequential file access,
+    so source blocks are often partially cached) or — with probability
+    ``chain_prob`` — copy-on-write-breaks the process's most recently
+    faulted page, whose frame was itself the *destination* of the
+    previous copy.  These chains are the paper's main source of inside
+    reuses (section 4.1.3).
+    """
+    rng = k.rng
+    below = len(proc.frames) < target
+    if not (below and rng.chance(0.75)) and not rng.chance(steady_prob):
+        return
+    if rng.chance(copy_prob):
+        if proc.frames and rng.chance(chain_prob):
+            src = proc.frames[-1]
+        else:
+            src = _current_buffer(k, cpu)
+        services.page_fault(k, cpu, proc, copy_from=src)
+    else:
+        services.page_fault(k, cpu, proc)
+
+
+def _shared_touches(k: Kernel, rng, round_no: int) -> None:
+    """Per-round producer-consumer traffic on the shared variable core
+    and the event counters (Table 5's Infreq. Com. and Freq. Shared)."""
+    writer = round_no % NUM_CPUS
+    k.touch_freq_shared(writer, "load_average", write=True, block="sched_seq")
+    k.touch_freq_shared(writer, "sched_hint", write=True, block="sched_seq")
+    for cpu in range(NUM_CPUS):
+        if cpu != writer:
+            k.touch_freq_shared(cpu, "load_average", write=False,
+                                block="sched_seq")
+            if rng.chance(0.5):
+                k.touch_freq_shared(cpu, "runq_length", write=rng.chance(0.3),
+                                    block="sched_seq")
+        k.bump_counter(cpu, rng.choice(
+            ["v_trap", "v_sched", "v_io_done", "v_lock_wait", "v_idle"]))
+        if rng.chance(0.4):
+            k.bump_counter(cpu, rng.choice(
+                ["v_pageins", "v_pageouts", "v_intr", "v_swtch", "v_syscall"]))
+        if rng.chance(0.6):
+            k.touch_freq_shared(cpu, rng.choice(
+                ["resource_ptrs", "ipc_mailbox", "freelist_size"]),
+                write=rng.chance(0.4), block="sched_seq")
+
+
+def _sprinkle_interrupts(k: Kernel, round_no: int, timer_every: int = 2,
+                         pager_every: int = 6) -> None:
+    """Timer ticks (staggered across CPUs) and occasional pager scans."""
+    if timer_every and round_no % timer_every == 0:
+        services.timer_interrupt(k, round_no % NUM_CPUS)
+        services.timer_interrupt(k, (round_no + 2) % NUM_CPUS)
+    if pager_every and round_no % pager_every == pager_every - 1:
+        services.pager_scan(k, (round_no // pager_every) % NUM_CPUS)
+
+
+def _regime_change(k: Kernel, new_procs: List[Process]) -> None:
+    """Gang switch: cross-processor interrupts then context switches.
+
+    The outgoing gang loses its newest frames to memory pressure, so the
+    incoming gang's faults reuse recently written frames (the owned
+    destination lines of Table 3).
+    """
+    for cpu in range(1, NUM_CPUS):
+        services.cross_interrupt(k, 0, cpu)
+    for cpu, proc in enumerate(new_procs):
+        old_pid = k.running[cpu]
+        old = k.processes.get(old_pid) if old_pid else None
+        if old is not None and len(old.frames) > 1:
+            take = min(2, len(old.frames) - 1)
+            k.free_frames(old.frames[-take:])
+            del old.frames[-take:]
+        services.context_switch(k, cpu, old if old else proc, proc)
+
+
+def generate_trfd4(seed: int = 1996, scale: float = 1.0,
+                   frame_policy: str = "default") -> Trace:
+    """TRFD_4: 4 x 4-process TRFD, gang-scheduled, barrier-intensive."""
+    k = _make_kernel("TRFD_4", seed, scale, frame_policy)
+    rng = k.rng.substream("schedule")
+    programs = [[k.spawn() for _ in range(NUM_CPUS)] for _ in range(4)]
+    rounds = max(4, int(44 * scale))
+    quantum = 8
+    current = 0
+    for r in range(rounds):
+        if r % quantum == 0:
+            current = (current + (1 if r else 0)) % len(programs)
+            _regime_change(k, programs[current])
+        gang = programs[current]
+        for cpu, proc in enumerate(gang):
+            _fault_if_needed(k, cpu, proc, target=2, copy_prob=0.6,
+                             steady_prob=0.11)
+            apps.trfd_chunk(k, cpu, proc, refs=340)
+            k.kmem_walk(cpu, refs=170, jump_prob=0.26)
+        k.barrier_all(k.next_barrier(), NUM_CPUS)
+        for cpu, proc in enumerate(gang):
+            apps.trfd_chunk(k, cpu, proc, refs=260)
+        k.barrier_all(k.next_barrier(), NUM_CPUS)
+        for cpu, proc in enumerate(gang):
+            apps.trfd_chunk(k, cpu, proc, refs=180)
+        k.barrier_all(k.next_barrier(), NUM_CPUS)
+        if rng.chance(0.3):
+            # Writing intermediate results / reading input decks.
+            cpu = rng.randint(0, NUM_CPUS - 1)
+            services.file_io(k, cpu, gang[cpu],
+                             size=rng.choice([128, 256, 512, 1024]),
+                             is_write=rng.chance(0.5),
+                             buf=_current_buffer(k, cpu, 0.1))
+        _shared_touches(k, rng, r)
+        _sprinkle_interrupts(k, r)
+        for cpu in range(NUM_CPUS):
+            if rng.chance(0.6):
+                k.idle(cpu, spins=rng.randint(80, 160))
+    return k.build()
+
+
+def generate_trfd_make(seed: int = 1996, scale: float = 1.0,
+                       frame_policy: str = "default") -> Trace:
+    """TRFD+Make: one TRFD instance plus four parallel cc1 compilations."""
+    k = _make_kernel("TRFD+Make", seed, scale, frame_policy)
+    rng = k.rng.substream("schedule")
+    trfd = [k.spawn() for _ in range(NUM_CPUS)]
+    compilers = [k.spawn() for _ in range(NUM_CPUS)]
+    rounds = max(4, int(46 * scale))
+    was_gang = False
+    for r in range(rounds):
+        gang_round = rng.chance(0.42)
+        if gang_round != was_gang:
+            _regime_change(k, trfd if gang_round else compilers)
+            was_gang = gang_round
+        if gang_round:
+            for cpu, proc in enumerate(trfd):
+                _fault_if_needed(k, cpu, proc, target=2, copy_prob=0.55,
+                                 steady_prob=0.012)
+                apps.trfd_chunk(k, cpu, proc, refs=300)
+                k.kmem_walk(cpu, refs=240, jump_prob=0.3)
+            k.barrier_all(k.next_barrier(), NUM_CPUS)
+            for cpu, proc in enumerate(trfd):
+                apps.trfd_chunk(k, cpu, proc, refs=220)
+            k.barrier_all(k.next_barrier(), NUM_CPUS)
+        else:
+            for cpu in range(NUM_CPUS):
+                proc = compilers[cpu]
+                services.syscall(k, cpu, proc, nr=rng.randint(0, 64))
+                _fault_if_needed(k, cpu, proc, target=2, copy_prob=0.6,
+                                 steady_prob=0.008)
+                apps.cc1_chunk(k, cpu, proc, refs=420)
+                k.kmem_walk(cpu, refs=170, jump_prob=0.26)
+                if rng.chance(0.06):
+                    # Read a source file (~60 lines) or an include file.
+                    size = rng.choice([2048, 4096, 4096, 512, 256])
+                    services.file_io(k, cpu, proc, size=size,
+                                     buf=_current_buffer(k, cpu, 0.1))
+                if rng.chance(0.07):
+                    # Pipe traffic between make and its children.
+                    services.pipe_transfer(k, cpu, proc, proc,
+                                           size=rng.choice([128, 256, 512]))
+                if rng.chance(0.15):
+                    # Write the assembler temp file; the next pass reads
+                    # it back through the same (warm) buffer.
+                    services.file_io(k, cpu, proc, size=2048, is_write=True,
+                                     buf=_current_buffer(k, cpu, 0.08))
+                if rng.chance(0.07):
+                    # cc driver forks the next compiler pass.
+                    child = services.fork(k, cpu, proc, copy_pages=1)
+                    services.exec_image(k, cpu, child, arg_bytes=256,
+                                        zero_pages=1)
+                    services.process_exit(k, cpu, compilers[cpu])
+                    compilers[cpu] = child
+        _shared_touches(k, rng, r)
+        _sprinkle_interrupts(k, r)
+        for cpu in range(NUM_CPUS):
+            if rng.chance(0.5):
+                k.idle(cpu, spins=rng.randint(70, 140))
+    return k.build()
+
+
+def generate_arc2d_fsck(seed: int = 1996, scale: float = 1.0,
+                        frame_policy: str = "default") -> Trace:
+    """ARC2D+Fsck: gang-scheduled fluid dynamics plus a file-system check."""
+    k = _make_kernel("ARC2D+Fsck", seed, scale, frame_policy)
+    rng = k.rng.substream("schedule")
+    arc = [k.spawn() for _ in range(NUM_CPUS)]
+    fsck = k.spawn()
+    rounds = max(4, int(46 * scale))
+    was_fsck = False
+    for r in range(rounds):
+        fsck_round = rng.chance(0.45)
+        if fsck_round != was_fsck:
+            services.cross_interrupt(k, 0, NUM_CPUS - 1)
+            was_fsck = fsck_round
+        if fsck_round:
+            # ARC2D's gang shrinks to three CPUs; Fsck runs on the fourth.
+            for cpu in range(NUM_CPUS - 1):
+                proc = arc[cpu]
+                _fault_if_needed(k, cpu, proc, target=2, copy_prob=0.5,
+                                 steady_prob=0.02, chain_prob=0.6)
+                apps.arc2d_chunk(k, cpu, proc, refs=380)
+                k.kmem_walk(cpu, refs=260, jump_prob=0.3)
+            k.barrier_all(k.next_barrier(NUM_CPUS - 1), NUM_CPUS - 1,
+                          cpus=list(range(NUM_CPUS - 1)))
+            cpu = NUM_CPUS - 1
+            services.syscall(k, cpu, fsck, nr=3)
+            apps.fsck_chunk(k, cpu, fsck, refs=260)
+            k.kmem_walk(cpu, refs=300, jump_prob=0.3)
+            for _ in range(rng.randint(2, 3)):
+                size = rng.weighted_choice(
+                    [128, 256, 512, 1024, 2048, 3072, 4096],
+                    [0.2, 0.22, 0.18, 0.14, 0.12, 0.06, 0.08])
+                services.file_io(k, cpu, fsck, size=size,
+                                 buf=_current_buffer(k, cpu, 0.12))
+                if rng.chance(0.5):
+                    # Fsck repairs what it just read: write the block
+                    # back — the user page it reads from is the previous
+                    # copy's destination (an inside-reuse chain).
+                    services.file_io(k, cpu, fsck, size=size, is_write=True,
+                                     buf=_current_buffer(k, cpu, 0.0))
+            _fault_if_needed(k, cpu, fsck, target=4, copy_prob=0.5)
+        else:
+            for cpu in range(NUM_CPUS):
+                proc = arc[cpu]
+                _fault_if_needed(k, cpu, proc, target=2, copy_prob=0.5,
+                                 steady_prob=0.02)
+                apps.arc2d_chunk(k, cpu, proc, refs=360)
+                k.kmem_walk(cpu, refs=240, jump_prob=0.3)
+            k.barrier_all(k.next_barrier(), NUM_CPUS)
+            for cpu in range(NUM_CPUS):
+                apps.arc2d_chunk(k, cpu, arc[cpu], refs=240)
+            k.barrier_all(k.next_barrier(), NUM_CPUS)
+        if r % 5 == 4:
+            # Memory pressure: one gang member loses a frame, refaulting
+            # into a recently written frame soon after.
+            proc = rng.choice(arc)
+            if len(proc.frames) > 1:
+                k.free_frames(proc.frames[-1:])
+                del proc.frames[-1:]
+        _shared_touches(k, rng, r)
+        _sprinkle_interrupts(k, r, timer_every=2, pager_every=4)
+        for cpu in range(NUM_CPUS):
+            if rng.chance(0.65):
+                k.idle(cpu, spins=rng.randint(90, 170))
+    return k.build()
+
+
+def generate_shell(seed: int = 1996, scale: float = 1.0,
+                   frame_policy: str = "default") -> Trace:
+    """Shell: 21 background jobs of popular shell commands."""
+    k = _make_kernel("Shell", seed, scale, frame_policy)
+    k.frame_reuse_prob = 0.25
+    rng = k.rng.substream("schedule")
+    # A pool of shells, one foreground process per CPU.
+    jobs: List[Process] = [k.spawn() for _ in range(NUM_CPUS)]
+    rounds = max(4, int(58 * scale))
+    for r in range(rounds):
+        for cpu in range(NUM_CPUS):
+            if rng.chance(0.45):
+                # Multiprogrammed load with serial jobs: CPUs go idle
+                # whenever their run queue empties.
+                k.idle(cpu, spins=rng.randint(330, 520))
+                continue
+            proc = jobs[cpu]
+            services.syscall(k, cpu, proc, nr=rng.randint(0, 200))
+            k.touch_freq_shared(cpu, rng.choice(
+                ["resource_ptrs", "ipc_mailbox", "runq_length",
+                 "load_average"]), write=rng.chance(0.45), block="sched_seq")
+            if rng.chance(0.6):
+                k.touch_freq_shared(cpu, rng.choice(
+                    ["sched_hint", "freelist_size"]),
+                    write=rng.chance(0.4), block="sched_seq")
+            _fault_if_needed(k, cpu, proc, target=2, copy_prob=0.55,
+                             steady_prob=0.02)
+            apps.shell_chunk(k, cpu, proc, refs=260)
+            k.kmem_walk(cpu, refs=330, jump_prob=0.3)
+            if rng.chance(0.10):
+                # Launch a pipeline stage: fork + exec with small copies —
+                # and often fork again from the child (copy chains).
+                child = services.fork(k, cpu, proc, copy_pages=1,
+                                      page_size=rng.chance(0.3))
+                services.exec_image(k, cpu, child,
+                                    arg_bytes=rng.choice([128, 256, 512]),
+                                    zero_pages=1 if rng.chance(0.4) else 0)
+                if rng.chance(0.35):
+                    grandchild = services.fork(k, cpu, child, copy_pages=1,
+                                               page_size=False)
+                    services.pipe_transfer(k, cpu, child, grandchild,
+                                           size=rng.choice([128, 256, 512]))
+                    services.process_exit(k, cpu, grandchild)
+                services.context_switch(k, cpu, proc, child)
+                services.process_exit(k, cpu, proc)
+                jobs[cpu] = child
+            if rng.chance(0.2):
+                size = rng.weighted_choice(
+                    [64, 128, 256, 512, 1024, 4096],
+                    [0.24, 0.22, 0.2, 0.15, 0.11, 0.08])
+                services.file_io(k, cpu, jobs[cpu], size=size,
+                                 is_write=rng.chance(0.4),
+                                 buf=_current_buffer(k, cpu, 0.35))
+            if rng.chance(0.1):
+                # rsh / finger / who: network traffic.
+                size = rng.choice([128, 256, 512, 1024])
+                if rng.chance(0.5):
+                    services.network_receive(k, cpu, jobs[cpu], size)
+                else:
+                    services.network_send(k, cpu, jobs[cpu], size)
+            if rng.chance(0.08):
+                services.signal_delivery(k, cpu, jobs[cpu])
+            if rng.chance(0.3):
+                other = k.spawn()
+                services.context_switch(k, cpu, jobs[cpu], other)
+                services.context_switch(k, cpu, other, jobs[cpu])
+                k.processes.pop(other.pid, None)
+        _shared_touches(k, rng, r)
+        _sprinkle_interrupts(k, r, timer_every=2, pager_every=5)
+    return k.build()
+
+
+#: All four workloads, keyed by the paper's names.
+WORKLOADS: Dict[str, WorkloadFn] = {
+    "TRFD_4": generate_trfd4,
+    "TRFD+Make": generate_trfd_make,
+    "ARC2D+Fsck": generate_arc2d_fsck,
+    "Shell": generate_shell,
+}
+
+#: Paper order for tables and figures.
+WORKLOAD_ORDER = ["TRFD_4", "TRFD+Make", "ARC2D+Fsck", "Shell"]
+
+
+def generate(name: str, seed: int = 1996, scale: float = 1.0,
+             frame_policy: str = "default") -> Trace:
+    """Generate the named workload's trace.
+
+    ``frame_policy="colored"`` enables the cache-color-aware page
+    placement of section 7's future-work discussion.
+    """
+    try:
+        fn = WORKLOADS[name]
+    except KeyError:
+        raise KeyError(f"unknown workload {name!r}; "
+                       f"choose from {WORKLOAD_ORDER}") from None
+    return fn(seed, scale, frame_policy)

@@ -1,0 +1,38 @@
+"""Trace representation: records, block operations, symbols, streams, IO."""
+
+from repro.trace.annotations import Symbol, SymbolMap
+from repro.trace.blockop import BlockOpDescriptor, BlockOpRegistry
+from repro.trace.record import (
+    TraceRecord,
+    barrier,
+    block_end,
+    block_start,
+    lock_acquire,
+    lock_release,
+    prefetch,
+    read,
+    write,
+)
+from repro.trace import npzio, textio
+from repro.trace.stream import BLOCK_WORD_BYTES, Trace, TraceBuilder
+
+__all__ = [
+    "BLOCK_WORD_BYTES",
+    "BlockOpDescriptor",
+    "BlockOpRegistry",
+    "Symbol",
+    "SymbolMap",
+    "Trace",
+    "TraceBuilder",
+    "TraceRecord",
+    "barrier",
+    "npzio",
+    "textio",
+    "block_end",
+    "block_start",
+    "lock_acquire",
+    "lock_release",
+    "prefetch",
+    "read",
+    "write",
+]

@@ -1,0 +1,97 @@
+"""Compact binary trace serialization (NumPy ``.npz``).
+
+The text format (:mod:`repro.trace.textio`) is diffable but large and
+slow; for parameter sweeps that reuse traces across processes, this
+module stores each CPU's stream as one integer matrix in a compressed
+``.npz`` archive — typically ~20x smaller and an order of magnitude
+faster to load.
+
+Layout of the archive:
+
+* ``meta`` — JSON-encoded trace metadata plus the format version;
+* ``cpu<i>`` — ``(N_i, 9)`` int64 matrix, one row per record with columns
+  ``op, addr, mode, dclass, pc, icount, blockop, size, arg``;
+* ``blockops`` — ``(M, 6)`` int64 matrix of
+  ``op_id, kind, src, dst, size, pc``;
+* ``sym_names`` — array of symbol names; ``sym_table`` — ``(S, 3)``
+  int64 matrix of ``base, size, dclass``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Union
+
+import numpy as np
+
+from repro.common.errors import TraceError
+from repro.common.types import BlockOpKind, DataClass, Mode, Op
+from repro.trace.record import TraceRecord
+from repro.trace.stream import Trace
+
+_VERSION = 1
+_COLUMNS = 9
+
+
+def _stream_matrix(stream) -> np.ndarray:
+    out = np.empty((len(stream), _COLUMNS), dtype=np.int64)
+    for i, r in enumerate(stream):
+        out[i] = (int(r.op), r.addr, int(r.mode), int(r.dclass), r.pc,
+                  r.icount, r.blockop, r.size, r.arg)
+    return out
+
+
+def save(trace: Trace, path: str) -> None:
+    """Write *trace* to a compressed ``.npz`` archive at *path*."""
+    arrays = {
+        "meta": np.array(json.dumps({
+            "version": _VERSION,
+            "num_cpus": trace.num_cpus,
+            "metadata": trace.metadata,
+        })),
+        "blockops": np.array(
+            [(op.op_id, int(op.kind), op.src, op.dst, op.size, op.pc)
+             for op in trace.blockops], dtype=np.int64).reshape(-1, 6),
+        "sym_names": np.array(trace.symbols.names()),
+        "sym_table": np.array(
+            [(s.base, s.size, int(s.dclass)) for s in trace.symbols],
+            dtype=np.int64).reshape(-1, 3),
+    }
+    for cpu, stream in enumerate(trace.streams):
+        arrays[f"cpu{cpu}"] = _stream_matrix(stream)
+    np.savez_compressed(path, **arrays)
+
+
+def load(path: str) -> Trace:
+    """Read a trace previously written by :func:`save`."""
+    with np.load(path, allow_pickle=False) as archive:
+        try:
+            meta = json.loads(str(archive["meta"]))
+        except KeyError:
+            raise TraceError(f"{path}: not a repro npz trace") from None
+        if meta.get("version") != _VERSION:
+            raise TraceError(f"{path}: unsupported version "
+                             f"{meta.get('version')!r}")
+        trace = Trace(int(meta["num_cpus"]), metadata=meta["metadata"])
+        names = archive["sym_names"]
+        table = archive["sym_table"]
+        for name, (base, size, dclass) in zip(names, table):
+            trace.symbols.add(str(name), int(base), int(size),
+                              DataClass(int(dclass)))
+        for op_id, kind, src, dst, size, pc in archive["blockops"]:
+            if BlockOpKind(int(kind)) == BlockOpKind.COPY:
+                desc = trace.blockops.new_copy(int(src), int(dst), int(size),
+                                               int(pc))
+            else:
+                desc = trace.blockops.new_zero(int(dst), int(size), int(pc))
+            if desc.op_id != int(op_id):
+                raise TraceError(f"{path}: block op ids out of order")
+        for cpu in range(trace.num_cpus):
+            matrix = archive[f"cpu{cpu}"]
+            stream = trace.streams[cpu]
+            for row in matrix:
+                stream.append(TraceRecord(
+                    Op(int(row[0])), int(row[1]), Mode(int(row[2])),
+                    DataClass(int(row[3])), int(row[4]), int(row[5]),
+                    int(row[6]), int(row[7]), int(row[8])))
+    return trace

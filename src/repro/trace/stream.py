@@ -1,0 +1,215 @@
+"""Trace container, builder, and validation.
+
+A :class:`Trace` bundles one per-CPU record stream with the block-operation
+registry and symbol map the streams refer to.  :class:`TraceBuilder` is the
+write-side API used by the synthetic workload generator: it appends records
+per CPU and knows how to emit the word-level load/store expansion of a block
+operation exactly the way kernel ``bcopy``/``bzero`` loops touch memory.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Optional
+
+from repro.common.errors import TraceError
+from repro.common.types import BlockOpKind, DataClass, Mode, Op
+from repro.trace.annotations import SymbolMap
+from repro.trace.blockop import BlockOpDescriptor, BlockOpRegistry
+from repro.trace import record as rec
+from repro.trace.record import TraceRecord
+
+#: Stride of the word loop inside a block operation (one 32-bit word).
+BLOCK_WORD_BYTES = 4
+
+
+class Trace:
+    """A complete multiprocessor trace."""
+
+    def __init__(self, num_cpus: int, blockops: Optional[BlockOpRegistry] = None,
+                 symbols: Optional[SymbolMap] = None,
+                 metadata: Optional[Dict[str, object]] = None) -> None:
+        if num_cpus < 1:
+            raise TraceError("trace needs at least one CPU stream")
+        self.num_cpus = num_cpus
+        self.streams: List[List[TraceRecord]] = [[] for _ in range(num_cpus)]
+        self.blockops = blockops if blockops is not None else BlockOpRegistry()
+        self.symbols = symbols if symbols is not None else SymbolMap()
+        self.metadata: Dict[str, object] = dict(metadata or {})
+
+    def __len__(self) -> int:
+        """Total record count across all CPUs."""
+        return sum(len(s) for s in self.streams)
+
+    def records(self) -> Iterable[TraceRecord]:
+        """Iterate over all records, CPU by CPU."""
+        for stream in self.streams:
+            yield from stream
+
+    def count_ops(self) -> Counter:
+        """Histogram of record types across all CPUs."""
+        counts: Counter = Counter()
+        for stream in self.streams:
+            for r in stream:
+                counts[Op(r.op)] += 1
+        return counts
+
+    def data_reference_count(self, mode: Optional[Mode] = None) -> int:
+        """Number of READ/WRITE records, optionally restricted to *mode*."""
+        total = 0
+        for stream in self.streams:
+            for r in stream:
+                if r.op in (Op.READ, Op.WRITE) and (mode is None or r.mode == mode):
+                    total += 1
+        return total
+
+    def validate(self) -> None:
+        """Check structural invariants; raises :class:`TraceError`.
+
+        * every LOCK_ACQ is followed (on the same CPU) by a LOCK_REL of the
+          same lock before the next acquire of that lock there;
+        * barrier arrivals are balanced: each barrier episode sees exactly
+          ``participants`` arrivals across all CPUs;
+        * BLOCK_START/BLOCK_END markers nest properly per CPU and refer to
+          registered descriptors;
+        * block-op word records lie inside their descriptor's ranges.
+        """
+        self._validate_locks()
+        self._validate_barriers()
+        self._validate_blockops()
+
+    def _validate_locks(self) -> None:
+        for cpu, stream in enumerate(self.streams):
+            held: set = set()
+            for r in stream:
+                if r.op == Op.LOCK_ACQ:
+                    if r.addr in held:
+                        raise TraceError(
+                            f"cpu {cpu}: lock {r.addr:#x} acquired twice")
+                    held.add(r.addr)
+                elif r.op == Op.LOCK_REL:
+                    if r.addr not in held:
+                        raise TraceError(
+                            f"cpu {cpu}: lock {r.addr:#x} released but not held")
+                    held.discard(r.addr)
+            if held:
+                raise TraceError(
+                    f"cpu {cpu}: locks never released: "
+                    f"{sorted(hex(a) for a in held)}")
+
+    def _validate_barriers(self) -> None:
+        arrivals: Counter = Counter()
+        expected: Dict[int, int] = {}
+        for stream in self.streams:
+            for r in stream:
+                if r.op != Op.BARRIER:
+                    continue
+                arrivals[r.addr] += 1
+                if r.arg < 1 or r.arg > self.num_cpus:
+                    raise TraceError(
+                        f"barrier {r.addr:#x}: bad participant count {r.arg}")
+                prev = expected.setdefault(r.addr, r.arg)
+                if prev != r.arg:
+                    raise TraceError(
+                        f"barrier {r.addr:#x}: inconsistent participant counts")
+        for addr, count in arrivals.items():
+            if count % expected[addr]:
+                raise TraceError(
+                    f"barrier {addr:#x}: {count} arrivals is not a multiple "
+                    f"of {expected[addr]} participants")
+
+    def _validate_blockops(self) -> None:
+        for cpu, stream in enumerate(self.streams):
+            active = 0
+            for r in stream:
+                if r.op == Op.BLOCK_START:
+                    if active:
+                        raise TraceError(f"cpu {cpu}: nested block operation")
+                    self.blockops.get(r.blockop)
+                    active = r.blockop
+                elif r.op == Op.BLOCK_END:
+                    if r.blockop != active:
+                        raise TraceError(
+                            f"cpu {cpu}: BLOCK_END {r.blockop} without start")
+                    active = 0
+                elif r.blockop and r.op in (Op.READ, Op.WRITE):
+                    desc = self.blockops.get(r.blockop)
+                    if r.blockop != active:
+                        raise TraceError(
+                            f"cpu {cpu}: block-op record outside markers")
+                    inside = (desc.contains_src(r.addr)
+                              or desc.contains_dst(r.addr))
+                    if not inside:
+                        raise TraceError(
+                            f"cpu {cpu}: block-op access {r.addr:#x} outside "
+                            f"op {r.blockop} ranges")
+            if active:
+                raise TraceError(f"cpu {cpu}: unterminated block operation")
+
+
+class TraceBuilder:
+    """Write-side API for constructing a :class:`Trace` one CPU at a time."""
+
+    def __init__(self, num_cpus: int, symbols: Optional[SymbolMap] = None,
+                 metadata: Optional[Dict[str, object]] = None) -> None:
+        self.trace = Trace(num_cpus, symbols=symbols, metadata=metadata)
+
+    @property
+    def blockops(self) -> BlockOpRegistry:
+        return self.trace.blockops
+
+    @property
+    def symbols(self) -> SymbolMap:
+        return self.trace.symbols
+
+    def emit(self, cpu: int, record_: TraceRecord) -> None:
+        """Append one record to *cpu*'s stream."""
+        self.trace.streams[cpu].append(record_)
+
+    def emit_many(self, cpu: int, records: Iterable[TraceRecord]) -> None:
+        """Append several records to *cpu*'s stream."""
+        self.trace.streams[cpu].extend(records)
+
+    def emit_block_copy(self, cpu: int, src: int, dst: int, size: int, *,
+                        mode: Mode = Mode.OS, pc: int = 0,
+                        src_dclass: DataClass = DataClass.BUFFER,
+                        dst_dclass: DataClass = DataClass.PAGE_FRAME,
+                        ) -> BlockOpDescriptor:
+        """Emit the full word loop of a ``bcopy(src, dst, size)``.
+
+        The loop reads one source word then writes one destination word,
+        with two non-memory instructions of loop overhead per word, which
+        is how the Concentrix copy loop behaves on the traced machine.
+        """
+        desc = self.blockops.new_copy(src, dst, size, pc)
+        stream = self.trace.streams[cpu]
+        stream.append(rec.block_start(desc.op_id, mode=mode, pc=pc))
+        for off in range(0, size, BLOCK_WORD_BYTES):
+            nbytes = min(BLOCK_WORD_BYTES, size - off)
+            stream.append(TraceRecord(Op.READ, src + off, mode, src_dclass,
+                                      pc, 2, desc.op_id, nbytes))
+            stream.append(TraceRecord(Op.WRITE, dst + off, mode, dst_dclass,
+                                      pc, 1, desc.op_id, nbytes))
+        stream.append(rec.block_end(desc.op_id, mode=mode, pc=pc))
+        return desc
+
+    def emit_block_zero(self, cpu: int, dst: int, size: int, *,
+                        mode: Mode = Mode.OS, pc: int = 0,
+                        dst_dclass: DataClass = DataClass.PAGE_FRAME,
+                        ) -> BlockOpDescriptor:
+        """Emit the word loop of a ``bzero(dst, size)`` (writes only)."""
+        desc = self.blockops.new_zero(dst, size, pc)
+        stream = self.trace.streams[cpu]
+        stream.append(rec.block_start(desc.op_id, mode=mode, pc=pc))
+        for off in range(0, size, BLOCK_WORD_BYTES):
+            nbytes = min(BLOCK_WORD_BYTES, size - off)
+            stream.append(TraceRecord(Op.WRITE, dst + off, mode, dst_dclass,
+                                      pc, 2, desc.op_id, nbytes))
+        stream.append(rec.block_end(desc.op_id, mode=mode, pc=pc))
+        return desc
+
+    def build(self, validate: bool = True) -> Trace:
+        """Finish and (optionally) validate the trace."""
+        if validate:
+            self.trace.validate()
+        return self.trace

@@ -1,0 +1,107 @@
+"""Portable text serialization of traces.
+
+The on-disk format is line-oriented so traces can be inspected, diffed and
+version-controlled.  It is intentionally simple: a header, one line per
+block-op descriptor and per symbol, then one line per record prefixed by the
+CPU id.  Field order matches :class:`repro.trace.record.TraceRecord`.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import TextIO, Union
+
+from repro.common.errors import TraceError
+from repro.common.types import BlockOpKind, DataClass, Mode, Op
+from repro.trace.record import TraceRecord
+from repro.trace.stream import Trace
+
+_MAGIC = "reprotrace v1"
+
+
+def dump(trace: Trace, fp: TextIO) -> None:
+    """Serialize *trace* to the text stream *fp*."""
+    fp.write(f"{_MAGIC}\n")
+    fp.write(f"cpus {trace.num_cpus}\n")
+    for key in sorted(trace.metadata):
+        fp.write(f"meta {key} {trace.metadata[key]}\n")
+    for sym in trace.symbols:
+        fp.write(f"sym {sym.name} {sym.base} {sym.size} {int(sym.dclass)}\n")
+    for op in trace.blockops:
+        fp.write(f"blockop {op.op_id} {int(op.kind)} {op.src} {op.dst} "
+                 f"{op.size} {op.pc}\n")
+    for cpu, stream in enumerate(trace.streams):
+        for r in stream:
+            fp.write(f"r {cpu} {int(r.op)} {r.addr} {int(r.mode)} "
+                     f"{int(r.dclass)} {r.pc} {r.icount} {r.blockop} "
+                     f"{r.size} {r.arg}\n")
+
+
+def dumps(trace: Trace) -> str:
+    """Serialize *trace* to a string."""
+    buf = io.StringIO()
+    dump(trace, buf)
+    return buf.getvalue()
+
+
+def load(fp: TextIO) -> Trace:
+    """Parse a trace previously written by :func:`dump`."""
+    header = fp.readline().rstrip("\n")
+    if header != _MAGIC:
+        raise TraceError(f"bad trace header {header!r}")
+    cpus_line = fp.readline().split()
+    if len(cpus_line) != 2 or cpus_line[0] != "cpus":
+        raise TraceError("missing cpu count")
+    trace = Trace(int(cpus_line[1]))
+    for line in fp:
+        fields = line.split()
+        if not fields:
+            continue
+        kind = fields[0]
+        if kind == "meta":
+            trace.metadata[fields[1]] = _parse_meta(" ".join(fields[2:]))
+        elif kind == "sym":
+            trace.symbols.add(fields[1], int(fields[2]), int(fields[3]),
+                              DataClass(int(fields[4])))
+        elif kind == "blockop":
+            _load_blockop(trace, fields)
+        elif kind == "r":
+            _load_record(trace, fields)
+        else:
+            raise TraceError(f"unknown line kind {kind!r}")
+    return trace
+
+
+def loads(text: str) -> Trace:
+    """Parse a trace from a string."""
+    return load(io.StringIO(text))
+
+
+def _parse_meta(value: str) -> Union[int, float, str]:
+    for converter in (int, float):
+        try:
+            return converter(value)
+        except ValueError:
+            continue
+    return value
+
+
+def _load_blockop(trace: Trace, fields: list) -> None:
+    op_id, kind, src, dst, size, pc = (int(f) for f in fields[1:7])
+    if BlockOpKind(kind) == BlockOpKind.COPY:
+        desc = trace.blockops.new_copy(src, dst, size, pc)
+    else:
+        desc = trace.blockops.new_zero(dst, size, pc)
+    if desc.op_id != op_id:
+        raise TraceError(
+            f"block op ids must be serialized in order ({op_id} != {desc.op_id})")
+
+
+def _load_record(trace: Trace, fields: list) -> None:
+    (cpu, op, addr, mode, dclass, pc, icount, blockop, size, arg) = (
+        int(f) for f in fields[1:11])
+    if not 0 <= cpu < trace.num_cpus:
+        raise TraceError(f"record for unknown cpu {cpu}")
+    trace.streams[cpu].append(
+        TraceRecord(Op(op), addr, Mode(mode), DataClass(dclass), pc, icount,
+                    blockop, size, arg))

@@ -1,0 +1,52 @@
+"""Shared fixtures: machines, memory systems, and small traces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.params import BASE_MACHINE, MachineParams
+from repro.memsys.bus import Bus
+from repro.memsys.coherence import CoherenceController
+from repro.memsys.hierarchy import CpuMemorySystem
+from repro.sim.metrics import MissTracker
+from repro.trace.stream import TraceBuilder
+
+
+@pytest.fixture
+def machine() -> MachineParams:
+    return BASE_MACHINE
+
+
+class MemoryRig:
+    """A bus + controller + N per-CPU hierarchies, wired for unit tests."""
+
+    def __init__(self, machine: MachineParams, num_cpus: int = 2) -> None:
+        self.machine = machine
+        self.bus = Bus(machine.bus)
+        self.controller = CoherenceController(machine, self.bus)
+        self.trackers = [MissTracker() for _ in range(num_cpus)]
+        self.mems = [
+            CpuMemorySystem(machine, self.bus, self.controller, tracker)
+            for tracker in self.trackers
+        ]
+
+    def __getitem__(self, cpu: int) -> CpuMemorySystem:
+        return self.mems[cpu]
+
+
+@pytest.fixture
+def rig(machine: MachineParams) -> MemoryRig:
+    """Two-CPU memory rig on the Base machine."""
+    return MemoryRig(machine, num_cpus=2)
+
+
+@pytest.fixture
+def quad_rig(machine: MachineParams) -> MemoryRig:
+    """Four-CPU memory rig on the Base machine."""
+    return MemoryRig(machine, num_cpus=4)
+
+
+@pytest.fixture
+def builder() -> TraceBuilder:
+    """Empty four-CPU trace builder."""
+    return TraceBuilder(4)

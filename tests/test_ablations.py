@@ -1,0 +1,96 @@
+"""Tests for the ablation studies (repro.experiments.ablations)."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    ALL_STUDIES,
+    AblationPoint,
+    render_study,
+    run_study,
+)
+from repro.experiments.runner import ExperimentRunner
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(scale=0.08, seed=21)
+
+
+def test_all_studies_registered():
+    assert set(ALL_STUDIES) == {"update_policy", "prefetch_lead", "dma_rate",
+                                "write_buffer_depth", "hotspot_count"}
+
+
+def test_unknown_study_raises():
+    with pytest.raises(KeyError, match="unknown study"):
+        run_study("bogus")
+
+
+def test_update_policy_ordering(runner):
+    points = run_study("update_policy", "TRFD_4", runner=runner)
+    by_label = {p.label: p for p in points}
+    # Pure update sends the most updates; invalidate sends none.
+    assert by_label["invalidate"].extra["update_cycles"] == 0
+    assert (by_label["pure"].extra["update_cycles"]
+            > by_label["selective"].extra["update_cycles"] > 0)
+    # Update protocols remove coherence misses.
+    assert (by_label["pure"].extra["coherence"]
+            <= by_label["selective"].extra["coherence"]
+            <= by_label["invalidate"].extra["coherence"])
+
+
+def test_selective_update_near_pure_misses(runner):
+    # Section 5.2's argument: selective update is within a few percent of
+    # pure update's misses at a fraction of its traffic.
+    points = run_study("update_policy", "TRFD_4", runner=runner)
+    by_label = {p.label: p for p in points}
+    pure, selective = by_label["pure"], by_label["selective"]
+    assert selective.os_misses <= pure.os_misses * 1.1
+    assert selective.extra["update_cycles"] < 0.8 * pure.extra["update_cycles"]
+
+
+def test_prefetch_lead_points(runner):
+    points = run_study("prefetch_lead", "Shell", runner=runner)
+    assert [p.label for p in points] == ["lead=2", "lead=4", "lead=8",
+                                         "lead=12"]
+    # Deeper pipelining never increases the block misses.
+    blocks = [p.extra["block_misses"] for p in points]
+    assert blocks[-1] <= blocks[0]
+
+
+def test_dma_rate_monotonic(runner):
+    points = run_study("dma_rate", "Shell", runner=runner)
+    stalls = [p.extra["dma_stall"] for p in points]
+    assert stalls == sorted(stalls)
+    times = [p.os_time for p in points]
+    assert times == sorted(times)
+
+
+def test_write_buffer_depth_helps(runner):
+    points = run_study("write_buffer_depth", "Shell", runner=runner)
+    dwrite = [p.extra["dwrite"] for p in points]
+    # A deeper buffer never stalls more.
+    assert dwrite[-1] <= dwrite[0]
+
+
+def test_hotspot_count_more_is_not_worse(runner):
+    points = run_study("hotspot_count", "Shell", runner=runner)
+    misses = [p.os_misses for p in points]
+    assert misses[-1] <= misses[0]
+    prefetches = [p.extra["prefetches"] for p in points]
+    assert prefetches == sorted(prefetches)
+
+
+def test_normalized_helper():
+    base = AblationPoint("base", 100, 1000, {})
+    point = AblationPoint("x", 50, 800, {})
+    norm = point.normalized(base)
+    assert norm == {"os_misses": 0.5, "os_time": 0.8}
+
+
+def test_render_study_output(runner):
+    points = run_study("dma_rate", "Shell", runner=runner)
+    out = render_study("DMA", points)
+    assert "OS misses" in out
+    assert "dma_stall" in out
+    assert "2 bus cycles / 8 B" in out

@@ -1,0 +1,69 @@
+"""Tests for ASCII chart rendering (repro.analysis.ascii_charts)."""
+
+import pytest
+
+from repro.analysis.ascii_charts import (
+    ascii_bar_chart,
+    ascii_line_chart,
+    ascii_render,
+)
+from repro.analysis.figures import BarChart, LineChart
+
+
+def make_bars():
+    c = BarChart("f", "Misses", ["W1"], ["Base", "Opt"], ["block", "other"])
+    c.set("W1", "Base", "block", 0.5)
+    c.set("W1", "Base", "other", 0.5)
+    c.set("W1", "Opt", "block", 0.0)
+    c.set("W1", "Opt", "other", 0.5)
+    return c
+
+
+def make_lines():
+    c = LineChart("f", "Sweep", ["W1"], ["Base", "Opt"], [16, 32, 64], "KB")
+    for x, b, o in ((16, 1.0, 0.8), (32, 1.0, 0.85), (64, 1.0, 0.9)):
+        c.set("W1", "Base", x, b)
+        c.set("W1", "Opt", x, o)
+    return c
+
+
+def test_bar_chart_lengths_scale_with_values():
+    out = ascii_bar_chart(make_bars(), width=40)
+    lines = out.splitlines()
+    base_line = next(l for l in lines if l.startswith("Base"))
+    opt_line = next(l for l in lines if l.startswith("Opt"))
+    assert base_line.count("#") == 20  # 0.5 of peak 1.0 over 40 cols
+    assert base_line.count("=") == 20
+    assert opt_line.count("#") == 0
+    assert opt_line.count("=") == 20
+
+
+def test_bar_chart_shows_totals_and_legend():
+    out = ascii_bar_chart(make_bars())
+    assert "1.00" in out and "0.50" in out
+    assert "#=block" in out
+    assert "[W1]" in out
+
+
+def test_line_chart_contains_markers_and_range():
+    out = ascii_line_chart(make_lines(), width=30, height=8)
+    assert "B=Base" in out and "D=Opt" in out
+    assert "0.800..1.000" in out
+    # Both series plotted.
+    assert "B" in out and "D" in out
+    assert "16  32  64" in out
+
+
+def test_line_chart_flat_series():
+    c = LineChart("f", "Flat", ["W"], ["S"], [1, 2], "x")
+    c.set("W", "S", 1, 1.0)
+    c.set("W", "S", 2, 1.0)
+    out = ascii_line_chart(c)
+    assert "Flat" in out  # no division-by-zero crash
+
+
+def test_render_dispatch():
+    assert "Misses" in ascii_render(make_bars())
+    assert "Sweep" in ascii_render(make_lines())
+    with pytest.raises(TypeError):
+        ascii_render("nope")

@@ -1,0 +1,64 @@
+"""Tests for miss attribution (repro.analysis.attribution)."""
+
+import pytest
+
+from repro.analysis.attribution import (
+    attribution_report,
+    hotspot_kinds,
+    misses_by_block,
+    misses_by_structure,
+)
+from repro.sim import SystemConfig, simulate
+from repro.synthetic import generate
+from repro.synthetic.layout import KERNEL_PC
+
+
+@pytest.fixture(scope="module")
+def metrics():
+    return simulate(generate("TRFD_4", seed=9, scale=0.08),
+                    SystemConfig("base"))
+
+
+def test_misses_by_structure_fractions_sum(metrics):
+    rows = misses_by_structure(metrics)
+    assert rows
+    assert sum(frac for _n, _c, frac in rows) == pytest.approx(1.0)
+    # Sorted biggest first.
+    counts = [c for _n, c, _f in rows]
+    assert counts == sorted(counts, reverse=True)
+
+
+def test_misses_by_structure_top(metrics):
+    rows = misses_by_structure(metrics, top=3)
+    assert len(rows) == 3
+
+
+def test_misses_by_block_resolves_names(metrics):
+    rows = misses_by_block(metrics, top=20)
+    names = [name for name, _c, _f in rows]
+    # Kernel blocks resolve to their symbolic names; user pcs keep hex.
+    assert any(name in KERNEL_PC for name in names)
+
+
+def test_hotspot_kinds_partition(metrics):
+    kinds = hotspot_kinds(metrics, count=12)
+    total = sum(len(v) for v in kinds.values())
+    assert total == 12
+    # The PTE/freelist loops of section 6 should appear among the loops.
+    assert any("pte" in n or "freelist" in n for n in kinds["loops"])
+
+
+def test_attribution_report_readable(metrics):
+    text = attribution_report(metrics)
+    assert "by data structure" in text
+    assert "by basic block" in text
+    assert "hot-spot loops" in text
+
+
+def test_empty_metrics():
+    from repro.sim.metrics import SystemMetrics
+    empty = SystemMetrics(1)
+    assert misses_by_structure(empty) == []
+    assert misses_by_block(empty) == []
+    text = attribution_report(empty)
+    assert "hot-spot loops:     -" in text

@@ -1,0 +1,64 @@
+"""Unit tests for the split-transaction bus (repro.memsys.bus)."""
+
+from repro.common.params import BusParams
+from repro.memsys.bus import Bus, BusOp
+
+
+def make_bus():
+    return Bus(BusParams())
+
+
+def test_grant_immediately_when_free():
+    bus = make_bus()
+    assert bus.acquire(100, 20, BusOp.READ_MEM) == 100
+    assert bus.next_free == 120
+
+
+def test_grant_queues_behind_holder():
+    bus = make_bus()
+    bus.acquire(0, 20, BusOp.READ_MEM)
+    grant = bus.acquire(5, 20, BusOp.READ_MEM)
+    assert grant == 20
+    assert bus.wait_cycles == 15
+
+
+def test_busy_cycles_accumulate():
+    bus = make_bus()
+    bus.acquire(0, 20, BusOp.READ_MEM)
+    bus.acquire(0, 5, BusOp.INVALIDATE)
+    assert bus.busy_cycles == 25
+
+
+def test_reservations_never_overlap():
+    bus = make_bus()
+    intervals = []
+    for i in range(10):
+        grant = bus.acquire(i * 3, 7, BusOp.READ_MEM)
+        intervals.append((grant, grant + 7))
+    for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+        assert e1 <= s2
+
+
+def test_transaction_counting():
+    bus = make_bus()
+    bus.acquire(0, 5, BusOp.READ_MEM)
+    bus.acquire(0, 20, BusOp.READ_MEM, record_txn=False)
+    assert bus.transactions[BusOp.READ_MEM] == 1
+    assert bus.cycles_by_kind[BusOp.READ_MEM] == 25
+
+
+def test_utilization():
+    bus = make_bus()
+    bus.acquire(0, 50, BusOp.DMA)
+    assert bus.utilization(100) == 0.5
+    assert bus.utilization(0) == 0.0
+    assert bus.utilization(25) == 1.0  # clamped
+
+
+def test_traffic_summary_keys():
+    bus = make_bus()
+    bus.acquire(0, 10, BusOp.UPDATE)
+    bus.acquire(0, 20, BusOp.WRITEBACK)
+    summary = bus.traffic_summary()
+    assert summary["update"] == 10
+    assert summary["writeback"] == 20

@@ -1,0 +1,75 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_generate_npz_and_inspect(tmp_path, capsys):
+    out = tmp_path / "t.npz"
+    assert main(["generate", "Shell", "-o", str(out),
+                 "--scale", "0.05", "--seed", "3"]) == 0
+    assert out.exists()
+    captured = capsys.readouterr()
+    assert "records" in captured.out
+
+    assert main(["inspect", str(out)]) == 0
+    captured = capsys.readouterr()
+    assert "data references" in captured.out
+    assert "Shell" in captured.out
+
+
+def test_generate_text_format(tmp_path):
+    out = tmp_path / "t.txt"
+    assert main(["generate", "TRFD_4", "-o", str(out), "--scale", "0.05",
+                 "--text"]) == 0
+    assert out.read_text().startswith("reprotrace v1")
+
+
+def test_simulate_workload_by_name(capsys):
+    assert main(["simulate", "Shell", "--scale", "0.05",
+                 "--config", "Blk_Dma"]) == 0
+    out = capsys.readouterr().out
+    assert "OS misses" in out
+    assert "Blk_Dma" in out
+
+
+def test_simulate_trace_file(tmp_path, capsys):
+    path = tmp_path / "t.npz"
+    main(["generate", "Shell", "-o", str(path), "--scale", "0.05"])
+    capsys.readouterr()
+    assert main(["simulate", str(path)]) == 0
+    assert "makespan" in capsys.readouterr().out
+
+
+def test_simulate_unknown_config(capsys):
+    assert main(["simulate", "Shell", "--config", "Nope",
+                 "--scale", "0.05"]) == 2
+    assert "unknown config" in capsys.readouterr().err
+
+
+def test_report_single_artifact(tmp_path, capsys):
+    out = tmp_path / "r.txt"
+    assert main(["report", "--scale", "0.05", "--only", "table2",
+                 "-o", str(out), "-q"]) == 0
+    text = out.read_text()
+    assert "### table2" in text
+    assert "Block Op. (%)" in text
+
+
+def test_ablation_unknown_study(capsys):
+    assert main(["ablation", "nope", "--scale", "0.05"]) == 2
+    assert "unknown study" in capsys.readouterr().err
+
+
+def test_ablation_write_buffer(capsys):
+    assert main(["ablation", "write_buffer_depth", "--workload", "Shell",
+                 "--scale", "0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "depth=4" in out
+    assert "OS misses" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,84 @@
+"""Unit tests for the Blk_Dma engine (repro.memsys.dma)."""
+
+from repro.memsys.bus import BusOp
+from repro.memsys.dma import run_dma
+from repro.memsys.states import LineState
+from repro.trace.blockop import BlockOpRegistry
+
+SRC = 0x100000
+DST = 0x280000
+
+
+def make_copy(size):
+    return BlockOpRegistry().new_copy(SRC, DST, size)
+
+
+def make_zero(size):
+    return BlockOpRegistry().new_zero(DST, size)
+
+
+def test_page_copy_timing(rig):
+    # 19 startup + 512 beats x 2 bus cycles (10 CPU cycles) = 5139 cycles.
+    desc = make_copy(4096)
+    result = run_dma(rig[0], desc, 100)
+    assert result.grant == 100
+    assert result.occupancy == 19 + 512 * 10
+    assert result.done == 100 + result.occupancy
+
+
+def test_small_copy_timing(rig):
+    desc = make_copy(64)
+    result = run_dma(rig[0], desc, 0)
+    assert result.occupancy == 19 + 8 * 10
+
+
+def test_zero_fill_timing_has_no_src_snoop(rig):
+    rig.controller.fetch_owned(1, DST - 0x1000, 0)  # unrelated dirty line
+    desc = make_zero(128)
+    result = run_dma(rig[0], desc, 0)
+    assert result.snoop_penalty == 0
+
+
+def test_bus_held_for_whole_transfer(rig):
+    desc = make_copy(4096)
+    run_dma(rig[0], desc, 0)
+    assert rig.bus.transactions[BusOp.DMA] == 1
+    assert rig.bus.busy_cycles >= 19 + 512 * 10
+
+
+def test_dma_queues_behind_bus_traffic(rig):
+    rig.bus.acquire(0, 1000, BusOp.READ_MEM)
+    result = run_dma(rig[0], make_copy(64), 10)
+    assert result.grant == 1000
+
+
+def test_caches_not_filled(rig):
+    run_dma(rig[0], make_copy(256), 0)
+    assert not rig[0].l1d.present(SRC)
+    assert not rig[0].l1d.present(DST)
+    assert not rig[0].l2.present(SRC)
+    assert not rig[0].l2.present(DST)
+
+
+def test_dst_holders_updated_not_invalidated(rig):
+    rig.controller.fetch_owned(1, DST, 0)
+    rig[1].l1d.fill(DST)
+    result = run_dma(rig[0], make_copy(64), 100)
+    # Copy updated in place: still cached, now SHARED (memory matches).
+    assert rig[1].l2.state_of(DST) == LineState.SHARED
+    assert rig[1].l1d.present(DST)
+    assert result.snoop_penalty >= 2
+
+
+def test_dirty_src_supplier_slows_transfer(rig):
+    rig.controller.fetch_owned(1, SRC, 0)
+    result = run_dma(rig[0], make_copy(64), 100)
+    assert result.snoop_penalty >= 5
+    assert rig[1].l2.state_of(SRC) == LineState.SHARED
+
+
+def test_uncached_lines_marked_for_reuse(rig):
+    run_dma(rig[0], make_copy(64), 0)
+    tracker = rig.trackers[0]
+    assert DST in tracker.bypassed
+    assert SRC in tracker.bypassed

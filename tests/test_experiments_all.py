@@ -1,0 +1,36 @@
+"""Tests for the regenerate-everything driver (repro.experiments.all)."""
+
+import pytest
+
+from repro.experiments.all import ARTIFACT_ORDER, main, run_all
+
+
+def test_artifact_order_covers_everything():
+    assert len(ARTIFACT_ORDER) == 12
+    assert {n for n in ARTIFACT_ORDER if n.startswith("table")} == {
+        "table1", "table2", "table3", "table4", "table5"}
+    assert {n for n in ARTIFACT_ORDER if n.startswith("figure")} == {
+        f"figure{i}" for i in range(1, 8)}
+
+
+def test_run_all_selected_artifacts():
+    report = run_all(scale=0.05, seed=3, only=["table2"], verbose=False)
+    assert "### table2" in report
+    assert "Block Op. (%)" in report
+    assert "figure3" not in report
+
+
+def test_run_all_unknown_artifact():
+    with pytest.raises(KeyError, match="unknown artifact"):
+        run_all(scale=0.05, only=["table9"], verbose=False)
+
+
+def test_main_writes_output(tmp_path, capsys):
+    out = tmp_path / "report.txt"
+    code = main(["--scale", "0.05", "--seed", "3", "--only", "table2",
+                 "--out", str(out)])
+    assert code == 0
+    text = out.read_text()
+    assert "### table2" in text
+    captured = capsys.readouterr()
+    assert "### table2" in captured.out

@@ -1,0 +1,95 @@
+"""Tests for the figure builders (repro.analysis.figures)."""
+
+import pytest
+
+from repro.analysis.figures import (
+    BarChart,
+    FIG2_SYSTEMS,
+    FIG3_SYSTEMS,
+    LineChart,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+)
+from repro.experiments.runner import ExperimentRunner
+from repro.synthetic.workloads import WORKLOAD_ORDER
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(scale=0.06, seed=11)
+
+
+class TestChartContainers:
+    def test_bar_chart_set_total(self):
+        c = BarChart("x", "t", ["w"], ["s"], ["a", "b"])
+        c.set("w", "s", "a", 0.4)
+        c.set("w", "s", "b", 0.2)
+        assert c.total("w", "s") == pytest.approx(0.6)
+
+    def test_line_chart_set(self):
+        c = LineChart("x", "t", ["w"], ["s"], [1, 2], "X")
+        c.set("w", "s", 1, 0.9)
+        assert c.values["w"]["s"][1] == 0.9
+
+
+def test_figure1_normalized(runner):
+    chart = figure1(runner)
+    for workload in WORKLOAD_ORDER:
+        assert chart.total(workload, "Base") == pytest.approx(1.0)
+        assert all(v >= 0 for v in chart.values[workload]["Base"].values())
+
+
+def test_figure2_base_is_unit(runner):
+    chart = figure2(runner)
+    assert chart.systems == FIG2_SYSTEMS
+    for workload in WORKLOAD_ORDER:
+        assert chart.total(workload, "Base") == pytest.approx(1.0)
+        # Blk_Dma leaves no block misses by construction.
+        assert chart.values[workload]["Blk_Dma"]["Block Read Misses"] == 0.0
+
+
+def test_figure3_has_all_systems(runner):
+    chart = figure3(runner)
+    assert chart.systems == FIG3_SYSTEMS
+    for workload in WORKLOAD_ORDER:
+        assert chart.total(workload, "Base") == pytest.approx(1.0)
+        for system in FIG3_SYSTEMS:
+            assert chart.total(workload, system) > 0
+
+
+def test_figure4_coherence_never_increases(runner):
+    chart = figure4(runner)
+    for workload in WORKLOAD_ORDER:
+        base = chart.values[workload]["Base"]["Coh. Misses"]
+        relup = chart.values[workload]["BCoh_RelUp"]["Coh. Misses"]
+        assert relup <= base + 1e-9
+
+
+def test_figure5_hotspots_shrink(runner):
+    chart = figure5(runner)
+    for workload in WORKLOAD_ORDER:
+        relup = chart.values[workload]["BCoh_RelUp"]["Hot Spot Misses"]
+        bcpref = chart.values[workload]["BCPref"]["Hot Spot Misses"]
+        assert bcpref <= relup + 1e-9
+
+
+def test_figure6_sweep_points(runner):
+    chart = figure6(runner, sizes_kb=(16, 32))
+    assert chart.x_values == [16, 32]
+    for workload in WORKLOAD_ORDER:
+        for size in (16, 32):
+            assert chart.values[workload]["Base"][size] == pytest.approx(1.0)
+            assert chart.values[workload]["Blk_Dma"][size] > 0
+
+
+def test_figure7_sweep_points(runner):
+    chart = figure7(runner, line_sizes=(16, 32))
+    assert chart.x_values == [16, 32]
+    for workload in WORKLOAD_ORDER:
+        for line in (16, 32):
+            assert chart.values[workload]["Base"][line] == pytest.approx(1.0)

@@ -1,0 +1,181 @@
+"""Unit tests for the metrics layer (repro.sim.metrics)."""
+
+import pytest
+
+from repro.common.types import DataClass, MissKind, Mode
+from repro.memsys.hierarchy import AccessResult
+from repro.memsys.sink import MissFlags
+from repro.sim.metrics import (
+    BlockOpStats,
+    MissTracker,
+    SystemMetrics,
+    TimeBreakdown,
+)
+from repro.trace.blockop import BlockOpRegistry
+from repro.trace.record import read as read_rec
+
+
+class TestTimeBreakdown:
+    def test_add_and_total(self):
+        tb = TimeBreakdown()
+        tb.add(exec_cycles=10, imiss=2, dread=5, dwrite=1, pref=3, sync=4)
+        assert tb.total == 25
+
+    def test_merged(self):
+        a, b = TimeBreakdown(), TimeBreakdown()
+        a.add(exec_cycles=1)
+        b.add(dread=2)
+        m = a.merged(b)
+        assert m.exec_cycles == 1 and m.dread == 2
+        assert a.dread == 0  # originals untouched
+
+    def test_as_dict_keys(self):
+        d = TimeBreakdown().as_dict()
+        assert set(d) == {"exec_cycles", "imiss", "dread", "dwrite",
+                          "pref", "sync"}
+
+
+class TestMissTracker:
+    def test_coherence_flag_lifecycle(self):
+        t = MissTracker()
+        t.coherence_invalidate(0x100)
+        flags = t.consume_miss_flags(0x100)
+        assert flags.coherence
+        assert not t.consume_miss_flags(0x100).coherence  # consumed
+
+    def test_fill_clears_all_state(self):
+        t = MissTracker()
+        t.coherence_invalidate(0x100)
+        t.bypass_mark(0x100)
+        t.displaced.add(0x100)
+        t.l1_fill(0x100, evicted_line=-1, during_blockop=False)
+        flags = t.consume_miss_flags(0x100)
+        assert flags == MissFlags(False, False, False)
+
+    def test_blockop_fill_marks_victim(self):
+        t = MissTracker()
+        t.l1_fill(0x200, evicted_line=0x100, during_blockop=True)
+        assert t.consume_miss_flags(0x100).displaced
+
+    def test_plain_fill_does_not_mark_victim(self):
+        t = MissTracker()
+        t.l1_fill(0x200, evicted_line=0x100, during_blockop=False)
+        assert not t.consume_miss_flags(0x100).displaced
+
+    def test_coherence_invalidate_overrides_displacement(self):
+        t = MissTracker()
+        t.displaced.add(0x100)
+        t.coherence_invalidate(0x100)
+        flags = t.consume_miss_flags(0x100)
+        assert flags.coherence and not flags.displaced
+
+
+class TestBlockOpStats:
+    def test_size_classes(self):
+        stats = BlockOpStats()
+        reg = BlockOpRegistry()
+        page = reg.new_copy(0x0, 0x10000, 4096)
+        mid = reg.new_copy(0x0, 0x20000, 2048)
+        small = reg.new_zero(0x30000, 128)
+        for desc in (page, mid, small):
+            stats.record(desc, 4096, 0, 1, 0, 0, 1)
+        dist = stats.size_distribution()
+        assert dist["page"] == pytest.approx(100 / 3)
+        assert dist["1k_to_page"] == pytest.approx(100 / 3)
+        assert dist["lt_1k"] == pytest.approx(100 / 3)
+        assert stats.copies == 2
+
+    def test_percentages_guard_division(self):
+        stats = BlockOpStats()
+        assert stats.pct_src_cached() == 0.0
+        assert stats.pct_dst_owned() == 0.0
+        assert stats.size_distribution()["page"] == 0.0
+
+
+class TestSystemMetrics:
+    def make(self):
+        return SystemMetrics(num_cpus=2)
+
+    def miss(self, flags=MissFlags(), stall=50):
+        return AccessResult(done=51, stall=stall, miss=True, flags=flags)
+
+    def test_read_counting_by_mode(self):
+        m = self.make()
+        m.record_read(0, read_rec(0x100, mode=Mode.USER),
+                      AccessResult(done=1), False)
+        m.record_read(0, read_rec(0x100, mode=Mode.OS), self.miss(), False)
+        assert m.reads[Mode.USER] == 1
+        assert m.reads[Mode.OS] == 1
+        assert m.read_misses[Mode.OS] == 1
+        assert m.read_misses[Mode.USER] == 0
+
+    def test_block_miss_classification(self):
+        m = self.make()
+        m.record_read(0, read_rec(0x100, blockop=3), self.miss(), True)
+        assert m.os_miss_kind[MissKind.BLOCK_OP] == 1
+
+    def test_coherence_classification_and_addr_tracking(self):
+        m = self.make()
+        rec = read_rec(0x104, dclass=DataClass.LOCK_VAR)
+        m.record_read(0, rec, self.miss(MissFlags(coherence=True)), False)
+        assert m.os_miss_kind[MissKind.COHERENCE] == 1
+        assert m.os_coh_dclass[DataClass.LOCK_VAR] == 1
+        assert m.os_coh_addr[0x100] == 1
+
+    def test_displacement_and_reuse_counters(self):
+        m = self.make()
+        m.record_read(0, read_rec(0x100), self.miss(MissFlags(displaced=True)),
+                      True)
+        m.record_read(0, read_rec(0x200), self.miss(MissFlags(displaced=True)),
+                      False)
+        m.record_read(0, read_rec(0x300), self.miss(MissFlags(bypassed=True)),
+                      False)
+        assert m.displacement_inside == 1
+        assert m.displacement_outside == 1
+        assert m.reuse_outside == 1
+
+    def test_user_misses_not_in_os_taxonomy(self):
+        m = self.make()
+        m.record_read(0, read_rec(0x100, mode=Mode.USER), self.miss(), False)
+        assert sum(m.os_miss_kind.values()) == 0
+
+    def test_hotspot_miss_counting(self):
+        m = self.make()
+        m.hotspot_pcs = {0x40}
+        m.record_read(0, read_rec(0x100, pc=0x40), self.miss(), False)
+        m.record_read(0, read_rec(0x100, pc=0x80), self.miss(), False)
+        assert m.os_hotspot_misses == 1
+
+    def test_mode_fractions_sum_to_one(self):
+        m = self.make()
+        m.add_time(Mode.USER, exec_cycles=60)
+        m.add_time(Mode.OS, exec_cycles=30)
+        m.add_time(Mode.IDLE, exec_cycles=10)
+        total = sum(m.mode_fraction(mode) for mode in Mode)
+        assert total == pytest.approx(1.0)
+
+    def test_miss_kind_fractions_empty(self):
+        m = self.make()
+        assert m.miss_kind_fractions() == {k: 0.0 for k in MissKind}
+
+    def test_coherence_breakdown_partitions(self):
+        m = self.make()
+        m.os_coh_dclass[DataClass.BARRIER_VAR] = 6
+        m.os_coh_dclass[DataClass.TIMER] = 4
+        breakdown = m.coherence_breakdown()
+        assert breakdown["Barriers"] == pytest.approx(0.6)
+        assert breakdown["Other"] == pytest.approx(0.4)
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+
+    def test_hottest_pcs_ranked(self):
+        m = self.make()
+        m.os_miss_pc[0x10] = 5
+        m.os_miss_pc[0x20] = 9
+        m.os_miss_pc[0x30] = 1
+        assert m.hottest_pcs(2) == [0x20, 0x10]
+
+    def test_finalize_and_makespan(self):
+        m = self.make()
+        m.finalize([100, 250])
+        assert m.makespan == 250
+        assert m.cpu_end_times == [100, 250]

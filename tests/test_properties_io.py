@@ -1,0 +1,98 @@
+"""Property-based tests on serialization and trace transformations."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.types import DataClass, Mode, Op
+from repro.optim.privatize import privatize_and_relocate
+from repro.trace import npzio, textio
+from repro.trace.record import TraceRecord
+from repro.trace.stream import Trace
+
+
+@st.composite
+def random_traces(draw):
+    """Arbitrary (not necessarily semantically valid) record streams."""
+    num_cpus = draw(st.integers(1, 4))
+    trace = Trace(num_cpus)
+    for cpu in range(num_cpus):
+        n = draw(st.integers(0, 40))
+        for _ in range(n):
+            op = draw(st.sampled_from([Op.READ, Op.WRITE, Op.PREFETCH]))
+            trace.streams[cpu].append(TraceRecord(
+                op,
+                draw(st.integers(0, 2**31 - 1)),
+                draw(st.sampled_from(list(Mode))),
+                draw(st.sampled_from(list(DataClass))),
+                pc=draw(st.integers(0, 2**24)),
+                icount=draw(st.integers(0, 50)),
+                size=draw(st.sampled_from([1, 2, 4])),
+                arg=draw(st.integers(0, 100)),
+            ))
+    return trace
+
+
+@given(random_traces())
+@settings(max_examples=40, deadline=None)
+def test_textio_roundtrip_property(trace):
+    restored = textio.loads(textio.dumps(trace))
+    assert restored.num_cpus == trace.num_cpus
+    for a, b in zip(trace.streams, restored.streams):
+        assert a == b
+
+
+@given(random_traces())
+@settings(max_examples=25, deadline=None)
+def test_npzio_roundtrip_property(trace):
+    import os
+    import tempfile
+
+    fd, path = tempfile.mkstemp(suffix=".npz")
+    os.close(fd)
+    try:
+        npzio.save(trace, path)
+        restored = npzio.load(path)
+        for a, b in zip(trace.streams, restored.streams):
+            assert a == b
+    finally:
+        os.unlink(path)
+
+
+@given(random_traces())
+@settings(max_examples=30, deadline=None)
+def test_privatize_preserves_structure(trace):
+    """Privatization only ever touches counter/cpievents/timer addresses:
+    record counts can only grow (pager-read expansion), every original
+    non-target record survives verbatim, and data classes are kept."""
+    out = privatize_and_relocate(trace, trace.num_cpus)
+    assert out.num_cpus == trace.num_cpus
+    for orig, new in zip(trace.streams, out.streams):
+        assert len(new) >= len(orig)
+        # Records outside the transformed classes appear unchanged, in order.
+        def untouched(stream):
+            return [r for r in stream
+                    if r.dclass not in (DataClass.INFREQ_COMM,
+                                        DataClass.FREQ_SHARED,
+                                        DataClass.TIMER)]
+        assert untouched(new) == untouched(orig)
+        # Writes are never duplicated or dropped (only reads expand).
+        assert sum(1 for r in new if r.op == Op.WRITE) == \
+            sum(1 for r in orig if r.op == Op.WRITE)
+
+
+@given(st.lists(st.integers(0, 2**20), min_size=1, max_size=60),
+       st.integers(2, 4))
+@settings(max_examples=40, deadline=None)
+def test_tracestats_sharing_bounds(addresses, num_cpus):
+    """Sharing profile invariants for arbitrary read streams."""
+    from repro.analysis.tracestats import TraceStats
+    trace = Trace(num_cpus)
+    for i, addr in enumerate(addresses):
+        trace.streams[i % num_cpus].append(
+            TraceRecord(Op.READ, addr * 4, Mode.OS, DataClass.NONE, 0, 1))
+    stats = TraceStats(trace)
+    profile = stats.sharing_profile()
+    assert 0 <= profile.lines_shared <= profile.lines_total
+    assert 0 <= profile.lines_write_shared <= profile.lines_shared
+    assert profile.max_sharers <= num_cpus
+    assert stats.data_references() == len(addresses)

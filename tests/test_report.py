@@ -1,0 +1,75 @@
+"""Tests for text rendering (repro.analysis.report)."""
+
+import pytest
+
+from repro.analysis.figures import BarChart, LineChart
+from repro.analysis.report import (
+    render,
+    render_bar_chart,
+    render_line_chart,
+    render_table,
+)
+from repro.analysis.tables import TableData
+
+
+def make_table():
+    t = TableData("t1", "A Title", ["Row One", "R2"], ["W1", "W2"])
+    t.set(0, 0, 12.345)
+    t.set(1, 1, 99.9)
+    return t
+
+
+def test_render_table_contains_labels_and_values():
+    out = render_table(make_table())
+    assert "A Title" in out
+    assert "Row One" in out
+    assert "W1" in out and "W2" in out
+    assert "12.3" in out
+    assert "99.9" in out
+
+
+def test_render_table_decimals():
+    out = render_table(make_table(), decimals=3)
+    assert "12.345" in out
+
+
+def test_render_table_alignment():
+    lines = render_table(make_table()).splitlines()
+    data_lines = [l for l in lines if l.startswith(("Row One", "R2"))]
+    assert len({len(l) for l in data_lines}) == 1  # equal widths
+
+
+def test_render_bar_chart():
+    c = BarChart("f", "Bars", ["W"], ["Base", "Opt"], ["a", "b"])
+    c.set("W", "Base", "a", 0.6)
+    c.set("W", "Base", "b", 0.4)
+    c.set("W", "Opt", "a", 0.1)
+    out = render_bar_chart(c)
+    assert "[W]" in out
+    assert "Base" in out and "Opt" in out
+    assert "1.00" in out  # total column
+    assert "Total" in out
+
+
+def test_render_line_chart():
+    c = LineChart("f", "Lines", ["W"], ["Base"], [16, 32], "Size")
+    c.set("W", "Base", 16, 1.0)
+    c.set("W", "Base", 32, 0.875)
+    out = render_line_chart(c)
+    assert "Lines" in out
+    assert "Size" in out
+    assert "0.875" in out
+
+
+def test_render_dispatch():
+    assert "A Title" in render(make_table())
+    chart = BarChart("f", "B", ["W"], ["S"], ["x"])
+    assert "B" in render(chart)
+    line = LineChart("f", "L", ["W"], ["S"], [1], "X")
+    line.set("W", "S", 1, 1.0)
+    assert "L" in render(line)
+
+
+def test_render_rejects_unknown():
+    with pytest.raises(TypeError):
+        render(42)

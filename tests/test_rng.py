@@ -1,0 +1,63 @@
+"""Unit tests for deterministic random streams (repro.common.rng)."""
+
+from repro.common.rng import RngStream, derive_seed
+
+
+def test_derive_seed_deterministic():
+    assert derive_seed(42, "a") == derive_seed(42, "a")
+
+
+def test_derive_seed_varies_with_name():
+    assert derive_seed(42, "a") != derive_seed(42, "b")
+
+
+def test_derive_seed_varies_with_seed():
+    assert derive_seed(1, "a") != derive_seed(2, "a")
+
+
+def test_stream_reproducible():
+    a = [RngStream(7, "x").randint(0, 100) for _ in range(3)]
+    b = [RngStream(7, "x").randint(0, 100) for _ in range(3)]
+    assert a == b
+
+
+def test_substreams_independent():
+    root = RngStream(7)
+    s1 = root.substream("gen")
+    s2 = root.substream("layout")
+    seq1 = [s1.randint(0, 1000) for _ in range(10)]
+    seq2 = [s2.randint(0, 1000) for _ in range(10)]
+    assert seq1 != seq2
+
+
+def test_chance_extremes():
+    s = RngStream(1)
+    assert all(s.chance(1.0) for _ in range(20))
+    assert not any(s.chance(0.0) for _ in range(20))
+
+
+def test_choice_and_weighted_choice():
+    s = RngStream(3)
+    assert s.choice([5]) == 5
+    assert s.weighted_choice(["a", "b"], [1.0, 0.0]) == "a"
+
+
+def test_geometric_mean_roughly_right():
+    s = RngStream(11)
+    draws = [s.geometric(8.0) for _ in range(4000)]
+    mean = sum(draws) / len(draws)
+    assert all(d >= 1 for d in draws)
+    assert 6.0 < mean < 10.0
+
+
+def test_geometric_mean_one_floor():
+    s = RngStream(11)
+    assert all(s.geometric(0.5) == 1 for _ in range(10))
+
+
+def test_shuffle_is_permutation():
+    s = RngStream(5)
+    items = list(range(20))
+    shuffled = list(items)
+    s.shuffle(shuffled)
+    assert sorted(shuffled) == items

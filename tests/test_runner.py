@@ -1,0 +1,75 @@
+"""Tests for the experiment runner (repro.experiments.runner)."""
+
+import pytest
+
+from repro.common.params import BASE_MACHINE
+from repro.common.types import Op
+from repro.common.units import KB
+from repro.experiments.runner import ExperimentRunner, NUM_HOTSPOTS
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(scale=0.06, seed=13)
+
+
+def test_trace_is_cached(runner):
+    assert runner.trace("Shell") is runner.trace("Shell")
+
+
+def test_metrics_are_cached(runner):
+    a = runner.run("Shell", "Base")
+    b = runner.run("Shell", "Base")
+    assert a is b
+
+
+def test_machine_override_distinct_cache(runner):
+    base = runner.run("Shell", "Base")
+    small = runner.run("Shell", "Base",
+                       machine=BASE_MACHINE.with_l1d(size_bytes=16 * KB))
+    assert base is not small
+    # A smaller cache can only miss at least as much.
+    assert small.os_read_misses() >= base.os_read_misses()
+
+
+def test_privatized_trace_differs(runner):
+    raw = runner.trace("Shell")
+    priv = runner.privatized_trace("Shell")
+    assert priv is not raw
+    assert priv.metadata.get("privatized") == 1
+
+
+def test_update_selection_in_sync_page(runner):
+    from repro.synthetic import layout as lay
+    selection = runner.update_selection("TRFD_4")
+    assert selection.pages == [lay.SYNC_PAGE]
+    assert selection.core_bytes > 0
+
+
+def test_hotspots_count(runner):
+    hot = runner.hotspots("Shell")
+    assert len(hot) == NUM_HOTSPOTS
+    assert len(set(hot)) == NUM_HOTSPOTS
+
+
+def test_prefetched_trace_has_prefetch_records(runner):
+    trace = runner.prefetched_trace("Shell")
+    assert any(r.op == Op.PREFETCH for r in trace.records())
+    assert trace.metadata.get("hotspot_prefetch") == 1
+
+
+def test_run_matrix_covers_pairs(runner):
+    results = runner.run_matrix(["Base"], workloads=["Shell", "TRFD_4"])
+    assert set(results) == {("Shell", "Base"), ("TRFD_4", "Base")}
+
+
+def test_bcpref_uses_all_derivations(runner):
+    metrics = runner.run("Shell", "BCPref")
+    assert metrics.prefetches_issued > 0
+    assert metrics.hotspot_pcs
+
+
+def test_config_progression_reduces_misses(runner):
+    base = runner.run("Shell", "Base").os_read_misses()
+    full = runner.run("Shell", "BCPref").os_read_misses()
+    assert full < base

@@ -1,0 +1,57 @@
+"""Tests for seed-sensitivity analysis (repro.experiments.sensitivity)."""
+
+import pytest
+
+from repro.experiments.sensitivity import Spread, render_sweep, seed_sweep
+
+
+class TestSpread:
+    def test_of_constant(self):
+        s = Spread.of([2.0, 2.0, 2.0])
+        assert s.mean == 2.0
+        assert s.stddev == 0.0
+        assert s.relative_spread == 0.0
+
+    def test_of_values(self):
+        s = Spread.of([1.0, 3.0])
+        assert s.mean == 2.0
+        assert s.minimum == 1.0 and s.maximum == 3.0
+        assert s.stddev == pytest.approx(1.0)
+        assert s.relative_spread == pytest.approx(1.0)
+
+    def test_zero_mean_guard(self):
+        assert Spread.of([0.0, 0.0]).relative_spread == 0.0
+
+
+def test_seed_sweep_quantities():
+    spreads = seed_sweep("Shell", seeds=(1, 2), scale=0.06)
+    assert set(spreads) == {
+        "os_time_share", "os_read_share", "os_miss_share",
+        "block_miss_share", "coherence_miss_share", "other_miss_share"}
+    for spread in spreads.values():
+        assert 0.0 <= spread.minimum <= spread.maximum <= 1.0
+
+
+def test_seed_sweep_with_optimized():
+    spreads = seed_sweep("Shell", seeds=(1,), scale=0.06,
+                         with_optimized=True)
+    assert "dma_time_ratio" in spreads
+    assert "bcpref_miss_ratio" in spreads
+    # One seed: degenerate spread.
+    assert spreads["dma_time_ratio"].stddev == 0.0
+
+
+def test_miss_split_partitions_across_seeds():
+    spreads = seed_sweep("TRFD_4", seeds=(1, 2), scale=0.06)
+    total = (spreads["block_miss_share"].mean
+             + spreads["coherence_miss_share"].mean
+             + spreads["other_miss_share"].mean)
+    assert total == pytest.approx(1.0, abs=1e-6)
+
+
+def test_render_sweep():
+    spreads = seed_sweep("Shell", seeds=(1, 2), scale=0.06)
+    out = render_sweep("Shell", spreads)
+    assert "Seed sensitivity: Shell" in out
+    assert "block_miss_share" in out
+    assert "mean" in out

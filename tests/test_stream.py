@@ -1,0 +1,138 @@
+"""Unit tests for traces and the builder (repro.trace.stream)."""
+
+import pytest
+
+from repro.common.errors import TraceError
+from repro.common.types import Mode, Op
+from repro.trace import record as rec
+from repro.trace.stream import Trace, TraceBuilder
+
+
+def test_trace_needs_a_cpu():
+    with pytest.raises(TraceError):
+        Trace(0)
+
+
+def test_len_counts_all_streams(builder):
+    builder.emit(0, rec.read(0x0))
+    builder.emit(3, rec.read(0x4))
+    assert len(builder.trace) == 2
+
+
+def test_count_ops(builder):
+    builder.emit(0, rec.read(0x0))
+    builder.emit(0, rec.write(0x4))
+    builder.emit(1, rec.read(0x8))
+    counts = builder.trace.count_ops()
+    assert counts[Op.READ] == 2
+    assert counts[Op.WRITE] == 1
+
+
+def test_data_reference_count_by_mode(builder):
+    builder.emit(0, rec.read(0x0, mode=Mode.USER))
+    builder.emit(0, rec.write(0x4, mode=Mode.OS))
+    builder.emit(0, rec.lock_acquire(0x10))
+    trace = builder.trace
+    assert trace.data_reference_count() == 2
+    assert trace.data_reference_count(Mode.USER) == 1
+    assert trace.data_reference_count(Mode.OS) == 1
+
+
+class TestBlockEmission:
+    def test_copy_word_coverage(self, builder):
+        desc = builder.emit_block_copy(0, src=0x1000, dst=0x2000, size=64)
+        stream = builder.trace.streams[0]
+        assert stream[0].op == Op.BLOCK_START
+        assert stream[-1].op == Op.BLOCK_END
+        reads = [r for r in stream if r.op == Op.READ]
+        writes = [r for r in stream if r.op == Op.WRITE]
+        assert len(reads) == 16 and len(writes) == 16
+        assert [r.addr for r in reads] == list(range(0x1000, 0x1040, 4))
+        assert [w.addr for w in writes] == list(range(0x2000, 0x2040, 4))
+        assert all(r.blockop == desc.op_id for r in reads + writes)
+
+    def test_zero_writes_only(self, builder):
+        builder.emit_block_zero(1, dst=0x4000, size=32)
+        stream = builder.trace.streams[1]
+        assert not any(r.op == Op.READ for r in stream)
+        writes = [r for r in stream if r.op == Op.WRITE]
+        assert len(writes) == 8
+
+    def test_odd_size_covered(self, builder):
+        builder.emit_block_copy(0, src=0x1000, dst=0x2000, size=10)
+        reads = [r for r in builder.trace.streams[0] if r.op == Op.READ]
+        assert sum(r.size for r in reads) == 10
+
+
+class TestValidation:
+    def test_valid_trace_passes(self, builder):
+        builder.emit(0, rec.lock_acquire(0x10))
+        builder.emit(0, rec.lock_release(0x10))
+        builder.emit_block_copy(0, src=0x1000, dst=0x2000, size=16)
+        for cpu in range(4):
+            builder.emit(cpu, rec.barrier(0x20, 4))
+        builder.build(validate=True)
+
+    def test_unreleased_lock_fails(self, builder):
+        builder.emit(0, rec.lock_acquire(0x10))
+        with pytest.raises(TraceError, match="never released"):
+            builder.build()
+
+    def test_release_without_acquire_fails(self, builder):
+        builder.emit(0, rec.lock_release(0x10))
+        with pytest.raises(TraceError, match="not held"):
+            builder.build()
+
+    def test_double_acquire_fails(self, builder):
+        builder.emit(0, rec.lock_acquire(0x10))
+        builder.emit(0, rec.lock_acquire(0x10))
+        with pytest.raises(TraceError, match="twice"):
+            builder.build()
+
+    def test_unbalanced_barrier_fails(self, builder):
+        builder.emit(0, rec.barrier(0x20, 4))
+        builder.emit(1, rec.barrier(0x20, 4))
+        with pytest.raises(TraceError, match="barrier"):
+            builder.build()
+
+    def test_inconsistent_barrier_count_fails(self, builder):
+        builder.emit(0, rec.barrier(0x20, 4))
+        builder.emit(1, rec.barrier(0x20, 2))
+        with pytest.raises(TraceError):
+            builder.build()
+
+    def test_bad_participant_count_fails(self, builder):
+        builder.emit(0, rec.barrier(0x20, 9))
+        with pytest.raises(TraceError, match="participant"):
+            builder.build()
+
+    def test_blockop_access_outside_range_fails(self, builder):
+        desc = builder.emit_block_copy(0, src=0x1000, dst=0x2000, size=16)
+        stream = builder.trace.streams[0]
+        # Corrupt one word record to point outside the op's ranges.
+        for r in stream:
+            if r.op == Op.READ:
+                r.addr = 0x9000
+                break
+        with pytest.raises(TraceError, match="outside"):
+            builder.build()
+
+    def test_unterminated_blockop_fails(self, builder):
+        builder.emit(0, rec.block_start(1))
+        builder.trace.blockops.new_copy(0x0, 0x100, 16)
+        with pytest.raises(TraceError, match="unterminated"):
+            builder.build()
+
+    def test_nested_blockop_fails(self, builder):
+        builder.trace.blockops.new_copy(0x0, 0x100, 16)
+        builder.trace.blockops.new_copy(0x200, 0x300, 16)
+        builder.emit(0, rec.block_start(1))
+        builder.emit(0, rec.block_start(2))
+        with pytest.raises(TraceError, match="nested"):
+            builder.build()
+
+    def test_end_without_start_fails(self, builder):
+        builder.trace.blockops.new_copy(0x0, 0x100, 16)
+        builder.emit(0, rec.block_end(1))
+        with pytest.raises(TraceError, match="without start"):
+            builder.build()

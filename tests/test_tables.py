@@ -1,0 +1,96 @@
+"""Tests for the table builders (repro.analysis.tables).
+
+These run the real pipeline at a very small scale: the assertions cover
+structure and internal consistency, not calibrated magnitudes (the
+benchmarks check those at a larger scale).
+"""
+
+import pytest
+
+from repro.analysis.tables import (
+    TABLE1_ROWS,
+    TABLE2_ROWS,
+    TABLE3_ROWS,
+    TABLE4_ROWS,
+    TABLE5_ROWS,
+    TableData,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+from repro.experiments.runner import ExperimentRunner
+from repro.synthetic.workloads import WORKLOAD_ORDER
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(scale=0.06, seed=11)
+
+
+class TestTableData:
+    def test_set_and_cell(self):
+        t = TableData("t", "title", ["r1", "r2"], ["c1", "c2"])
+        t.set(0, 1, 3.5)
+        assert t.cell("r1", "c2") == 3.5
+        assert t.row("r2") == [0.0, 0.0]
+
+    def test_as_dict(self):
+        t = TableData("t", "title", ["r"], ["c"])
+        t.set(0, 0, 7.0)
+        assert t.as_dict() == {"r": {"c": 7.0}}
+
+    def test_unknown_labels_raise(self):
+        t = TableData("t", "title", ["r"], ["c"])
+        with pytest.raises(ValueError):
+            t.cell("missing", "c")
+
+
+def test_table1_structure(runner):
+    t = table1(runner)
+    assert t.row_labels == TABLE1_ROWS
+    assert t.col_labels == WORKLOAD_ORDER
+    for workload in WORKLOAD_ORDER:
+        time_sum = (t.cell("User Time (%)", workload)
+                    + t.cell("Idle Time (%)", workload)
+                    + t.cell("OS Time (%)", workload))
+        assert time_sum == pytest.approx(100.0, abs=0.5)
+        assert 0 <= t.cell("D-Miss Rate in Primary Cache (%)", workload) <= 100
+
+
+def test_table2_partitions(runner):
+    t = table2(runner)
+    assert t.row_labels == TABLE2_ROWS
+    for workload in WORKLOAD_ORDER:
+        total = sum(t.cell(r, workload) for r in TABLE2_ROWS)
+        assert total == pytest.approx(100.0, abs=0.5)
+
+
+def test_table3_structure(runner):
+    t = table3(runner)
+    assert t.row_labels == TABLE3_ROWS
+    for workload in WORKLOAD_ORDER:
+        sizes = (t.cell("Blocks of size = 4 Kbytes (%)", workload)
+                 + t.cell("Blocks of size < 4 Kbytes and >= 1 Kbyte (%)",
+                          workload)
+                 + t.cell("Blocks of size < 1 Kbyte (%)", workload))
+        assert sizes == pytest.approx(100.0, abs=0.5)
+        for row in TABLE3_ROWS:
+            assert 0.0 <= t.cell(row, workload) <= 100.0
+
+
+def test_table4_bounds(runner):
+    t = table4(runner)
+    assert t.row_labels == TABLE4_ROWS
+    for workload in WORKLOAD_ORDER:
+        for row in TABLE4_ROWS:
+            assert 0.0 <= t.cell(row, workload) <= 100.0
+
+
+def test_table5_partitions(runner):
+    t = table5(runner)
+    assert t.row_labels == TABLE5_ROWS
+    for workload in WORKLOAD_ORDER:
+        total = sum(t.cell(r, workload) for r in TABLE5_ROWS)
+        assert total == pytest.approx(100.0, abs=0.5)

@@ -1,0 +1,87 @@
+"""Round-trip tests for trace text serialization (repro.trace.textio)."""
+
+import io
+
+import pytest
+
+from repro.common.errors import TraceError
+from repro.common.types import DataClass, Mode
+from repro.trace import record as rec
+from repro.trace import textio
+from repro.trace.stream import TraceBuilder
+
+
+def sample_trace():
+    b = TraceBuilder(2)
+    b.symbols.add("vmmeter", 0x1000, 64, DataClass.INFREQ_COMM)
+    b.trace.metadata["workload"] = "test"
+    b.trace.metadata["seed"] = 42
+    b.trace.metadata["scale"] = 0.5
+    b.emit(0, rec.read(0x1000, mode=Mode.OS, dclass=DataClass.INFREQ_COMM,
+                       pc=0x40, icount=3))
+    b.emit(1, rec.write(0x2000, mode=Mode.USER, pc=0x80))
+    b.emit(0, rec.lock_acquire(0x3000))
+    b.emit(0, rec.lock_release(0x3000))
+    b.emit_block_copy(0, src=0x4000, dst=0x5000, size=32)
+    b.emit_block_zero(1, dst=0x6000, size=16)
+    return b.build()
+
+
+def test_roundtrip_preserves_everything():
+    original = sample_trace()
+    restored = textio.loads(textio.dumps(original))
+    assert restored.num_cpus == original.num_cpus
+    assert restored.metadata == original.metadata
+    assert len(restored) == len(original)
+    for s_orig, s_new in zip(original.streams, restored.streams):
+        assert s_orig == s_new
+    assert len(restored.blockops) == len(original.blockops)
+    for op in original.blockops:
+        got = restored.blockops.get(op.op_id)
+        assert (got.kind, got.src, got.dst, got.size) == (
+            op.kind, op.src, op.dst, op.size)
+    assert restored.symbols.by_name("vmmeter").dclass == DataClass.INFREQ_COMM
+
+
+def test_roundtrip_validates():
+    restored = textio.loads(textio.dumps(sample_trace()))
+    restored.validate()
+
+
+def test_metadata_types_restored():
+    restored = textio.loads(textio.dumps(sample_trace()))
+    assert restored.metadata["seed"] == 42
+    assert isinstance(restored.metadata["seed"], int)
+    assert restored.metadata["scale"] == pytest.approx(0.5)
+    assert restored.metadata["workload"] == "test"
+
+
+def test_bad_header_rejected():
+    with pytest.raises(TraceError, match="header"):
+        textio.loads("not a trace\ncpus 1\n")
+
+
+def test_missing_cpu_count_rejected():
+    with pytest.raises(TraceError):
+        textio.loads("reprotrace v1\nbogus\n")
+
+
+def test_unknown_line_kind_rejected():
+    with pytest.raises(TraceError, match="unknown line"):
+        textio.loads("reprotrace v1\ncpus 1\nwhat 1 2 3\n")
+
+
+def test_record_for_unknown_cpu_rejected():
+    text = "reprotrace v1\ncpus 1\nr 5 0 0 1 0 0 1 0 4 0\n"
+    with pytest.raises(TraceError, match="unknown cpu"):
+        textio.loads(text)
+
+
+def test_dump_to_file(tmp_path):
+    trace = sample_trace()
+    path = tmp_path / "trace.txt"
+    with open(path, "w") as fp:
+        textio.dump(trace, fp)
+    with open(path) as fp:
+        restored = textio.load(fp)
+    assert len(restored) == len(trace)

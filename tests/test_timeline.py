@@ -1,0 +1,87 @@
+"""Tests for the timeline recorder (repro.sim.timeline)."""
+
+import pytest
+
+from repro.sim.config import SystemConfig
+from repro.sim.system import MultiprocessorSystem
+from repro.sim.timeline import TimelineRecorder, render_timeline
+from repro.trace import record as rec
+from repro.trace.stream import TraceBuilder
+
+
+def small_system():
+    b = TraceBuilder(2)
+    for cpu in range(2):
+        for i in range(20):
+            b.emit(cpu, rec.read(0x10000 * (cpu + 1) + i * 16, icount=2))
+        b.emit(cpu, rec.lock_acquire(0x100))
+        b.emit(cpu, rec.write(0x200, icount=2))
+        b.emit(cpu, rec.lock_release(0x100))
+        b.emit(cpu, rec.barrier(0x300, 2))
+    b.emit_block_copy(0, src=0x40000, dst=0x51000, size=128)
+    return MultiprocessorSystem(b.build(), SystemConfig("t"))
+
+
+def test_recorder_captures_events():
+    recorder = TimelineRecorder(small_system())
+    metrics = recorder.run()
+    assert metrics.makespan > 0
+    assert recorder.events
+    assert {e.cpu for e in recorder.events} == {0, 1}
+
+
+def test_events_are_time_ordered_per_cpu():
+    recorder = TimelineRecorder(small_system())
+    recorder.run()
+    for cpu in (0, 1):
+        events = recorder.events_for(cpu)
+        starts = [e.start for e in events]
+        assert starts == sorted(starts)
+        assert all(e.end >= e.start for e in events)
+
+
+def test_limit_respected():
+    recorder = TimelineRecorder(small_system(), limit=5)
+    recorder.run()
+    assert len(recorder.events) == 5
+
+
+def test_window_covers_events():
+    recorder = TimelineRecorder(small_system())
+    recorder.run()
+    window = recorder.window()
+    assert window is not None
+    assert all(window.start <= e.start and e.end <= window.stop
+               for e in recorder.events)
+
+
+def test_render_timeline():
+    recorder = TimelineRecorder(small_system())
+    recorder.run()
+    out = render_timeline(recorder, width=60)
+    assert "cpu0 |" in out and "cpu1 |" in out
+    assert "legend" in out
+    # Reads, locks and barriers appear in the lanes.
+    assert "r" in out
+    assert "L" in out
+    assert "B" in out
+    # Lane width respected.
+    for line in out.splitlines():
+        if line.startswith("cpu"):
+            assert len(line.split("|")[1]) == 60
+
+
+def test_render_empty():
+    b = TraceBuilder(1)
+    system = MultiprocessorSystem(b.build(), SystemConfig("t"))
+    recorder = TimelineRecorder(system)
+    recorder.run()
+    assert render_timeline(recorder) == "(no events recorded)"
+
+
+def test_metrics_unaffected_by_recording():
+    plain = small_system().run()
+    recorder = TimelineRecorder(small_system())
+    recorded = recorder.run()
+    assert recorded.makespan == plain.makespan
+    assert recorded.os_read_misses() == plain.os_read_misses()

@@ -1,0 +1,107 @@
+"""Tests for trace statistics (repro.analysis.tracestats)."""
+
+import pytest
+
+from repro.analysis.tracestats import TraceStats
+from repro.common.types import DataClass, Mode, Op
+from repro.trace import record as rec
+from repro.trace.stream import TraceBuilder
+
+
+def build_trace():
+    b = TraceBuilder(2)
+    # CPU 0 reads a private line, both CPUs share another, CPU 1 writes a
+    # line CPU 0 reads (write-shared).
+    b.emit(0, rec.read(0x100, mode=Mode.USER, icount=2))
+    b.emit(0, rec.read(0x200, icount=3))
+    b.emit(1, rec.read(0x200, icount=1))
+    b.emit(0, rec.read(0x300, dclass=DataClass.SCHED))
+    b.emit(1, rec.write(0x304, dclass=DataClass.SCHED))
+    b.emit(0, rec.lock_acquire(0x400))
+    b.emit(0, rec.lock_release(0x400))
+    b.emit(0, rec.barrier(0x500, 2))
+    b.emit(1, rec.barrier(0x500, 2))
+    return b.build()
+
+
+@pytest.fixture
+def stats():
+    return TraceStats(build_trace())
+
+
+def test_reference_counts(stats):
+    assert stats.data_references() == 5
+    assert stats.refs_by_op[Op.READ] == 4
+    assert stats.refs_by_op[Op.WRITE] == 1
+    assert stats.refs_by_mode[Mode.USER] == 1
+    assert stats.refs_by_mode[Mode.OS] == 4
+
+
+def test_class_counts(stats):
+    assert stats.refs_by_class[DataClass.SCHED] == 2
+
+
+def test_fractions(stats):
+    assert stats.os_reference_fraction() == pytest.approx(0.8)
+    assert stats.write_fraction() == pytest.approx(0.2)
+
+
+def test_sync_counts(stats):
+    assert stats.lock_acquires[0x400] == 1
+    assert stats.barrier_arrivals[0x500] == 2
+
+
+def test_sharing_profile(stats):
+    profile = stats.sharing_profile()
+    assert profile.lines_total == 3  # 0x100, 0x200, 0x300
+    assert profile.lines_shared == 2  # 0x200 and 0x300
+    assert profile.lines_write_shared == 1  # 0x300 (read by 0, written by 1)
+    assert profile.max_sharers == 2
+    assert profile.shared_fraction == pytest.approx(2 / 3)
+
+
+def test_private_writes_not_write_shared():
+    b = TraceBuilder(2)
+    b.emit(0, rec.write(0x100))
+    b.emit(0, rec.read(0x104))
+    stats = TraceStats(b.build())
+    assert stats.sharing_profile().lines_write_shared == 0
+
+
+def test_block_op_profile():
+    b = TraceBuilder(1)
+    b.emit_block_copy(0, src=0x1000, dst=0x9000, size=4096)
+    b.emit_block_zero(0, dst=0xB000, size=256)
+    stats = TraceStats(b.build())
+    profile = stats.block_op_profile()
+    assert profile["count"] == 2
+    assert profile["copies"] == 1
+    assert profile["bytes"] == 4352
+    assert profile["page_fraction"] == 0.5
+    assert profile["small_fraction"] == 0.5
+
+
+def test_block_op_profile_empty():
+    b = TraceBuilder(1)
+    b.emit(0, rec.read(0x100))
+    assert TraceStats(b.build()).block_op_profile()["count"] == 0
+
+
+def test_hottest_blocks():
+    b = TraceBuilder(1)
+    for _ in range(5):
+        b.emit(0, rec.read(0x100, pc=0xAA))
+    b.emit(0, rec.read(0x200, pc=0xBB))
+    stats = TraceStats(b.build())
+    assert stats.hottest_blocks(1) == [(0xAA, 5)]
+
+
+def test_summary_mentions_key_numbers(stats):
+    text = stats.summary()
+    assert "data references" in text
+    assert "lock acquires" in text
+    assert "write-shared" in text
+
+
+def test_instruction_count(stats):
+    assert stats.instructions > 0

@@ -1,0 +1,81 @@
+"""Tests for update-protocol core selection (repro.optim.update_select)."""
+
+from repro.common.rng import RngStream
+from repro.common.types import DataClass
+from repro.optim.update_select import select_update_core
+from repro.sim import SystemConfig, simulate
+from repro.synthetic import layout as lay
+from repro.synthetic.kernel import Kernel
+from repro.trace.record import barrier
+
+
+def contended_trace(lock_rounds=6, barrier_rounds=4):
+    k = Kernel(4, RngStream(5, "upd"))
+    for _ in range(lock_rounds):
+        for cpu in range(4):
+            k.lock(cpu, "sched_lock")
+            k.write(cpu, lay.SCHED_BASE, DataClass.SCHED, "sched_seq")
+            k.unlock(cpu, "sched_lock")
+            k.touch_freq_shared(cpu, "freelist_size", write=(cpu == 0),
+                                block="sched_seq")
+    for _ in range(barrier_rounds):
+        k.barrier_all(k.next_barrier(), 4)
+    return k.build()
+
+
+def run_and_select(trace):
+    metrics = simulate(trace, SystemConfig("profile"))
+    return metrics, select_update_core(metrics, trace.symbols)
+
+
+def test_selection_includes_barriers_and_hot_lock():
+    trace = contended_trace()
+    _m, selection = run_and_select(trace)
+    assert "gang_barriers" in selection.variables
+    assert "sched_lock" in selection.variables
+
+
+def test_selection_fits_in_sync_page():
+    trace = contended_trace()
+    _m, selection = run_and_select(trace)
+    assert selection.pages == [lay.SYNC_PAGE]
+
+
+def test_core_bytes_are_modest():
+    # The paper's core is 384 bytes; ours must stay the same order.
+    trace = contended_trace()
+    _m, selection = run_and_select(trace)
+    assert 0 < selection.core_bytes <= 1024
+
+
+def test_lock_cap_respected():
+    trace = contended_trace()
+    metrics = simulate(trace, SystemConfig("profile"))
+    selection = select_update_core(metrics, trace.symbols, max_locks=0)
+    assert not any(name.endswith("_lock") for name in selection.variables)
+
+
+def test_covered_misses_counted():
+    trace = contended_trace()
+    _m, selection = run_and_select(trace)
+    assert selection.covered_misses > 0
+
+
+def test_empty_metrics_empty_selection():
+    from repro.sim.metrics import SystemMetrics
+    trace = contended_trace()
+    selection = select_update_core(SystemMetrics(4), trace.symbols)
+    assert selection.variables == []
+    assert selection.pages == []
+
+
+def test_update_protocol_on_selection_reduces_coherence_misses():
+    from repro.common.types import MissKind
+    trace = contended_trace()
+    base = simulate(trace, SystemConfig("base"))
+    selection = select_update_core(base, trace.symbols)
+    updated = simulate(contended_trace(),
+                       SystemConfig("upd", selective_update=True),
+                       update_pages=selection.pages)
+    assert (updated.os_miss_kind[MissKind.COHERENCE]
+            < base.os_miss_kind[MissKind.COHERENCE])

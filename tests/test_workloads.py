@@ -1,0 +1,113 @@
+"""Tests for the four workload generators (repro.synthetic.workloads)."""
+
+import pytest
+
+from repro.common.types import BlockOpKind, Mode, Op
+from repro.synthetic.workloads import WORKLOAD_ORDER, WORKLOADS, generate
+
+TINY = 0.1
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return {name: generate(name, seed=7, scale=TINY) for name in WORKLOAD_ORDER}
+
+
+def test_workload_order_matches_paper():
+    assert WORKLOAD_ORDER == ["TRFD_4", "TRFD+Make", "ARC2D+Fsck", "Shell"]
+    assert set(WORKLOADS) == set(WORKLOAD_ORDER)
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(KeyError, match="unknown workload"):
+        generate("bogus")
+
+
+def test_traces_validate(traces):
+    for trace in traces.values():
+        trace.validate()
+
+
+def test_traces_have_four_cpus(traces):
+    for trace in traces.values():
+        assert trace.num_cpus == 4
+        assert all(stream for stream in trace.streams)
+
+
+def test_metadata_recorded(traces):
+    for name, trace in traces.items():
+        assert trace.metadata["workload"] == name
+        assert trace.metadata["seed"] == 7
+        assert trace.metadata["scale"] == TINY
+
+
+def test_determinism():
+    a = generate("Shell", seed=3, scale=TINY)
+    b = generate("Shell", seed=3, scale=TINY)
+    for sa, sb in zip(a.streams, b.streams):
+        assert sa == sb
+
+
+def test_seed_changes_trace():
+    a = generate("Shell", seed=3, scale=TINY)
+    b = generate("Shell", seed=4, scale=TINY)
+    assert any(sa != sb for sa, sb in zip(a.streams, b.streams))
+
+
+def test_scale_grows_trace():
+    small = generate("TRFD_4", seed=3, scale=TINY)
+    large = generate("TRFD_4", seed=3, scale=2 * TINY)
+    assert len(large) > len(small)
+
+
+def test_all_have_user_and_os_references(traces):
+    for name, trace in traces.items():
+        assert trace.data_reference_count(Mode.USER) > 0, name
+        assert trace.data_reference_count(Mode.OS) > 0, name
+
+
+def test_all_have_block_operations(traces):
+    for name, trace in traces.items():
+        assert len(trace.blockops) > 0, name
+
+
+def test_parallel_workloads_have_barriers(traces):
+    for name in ("TRFD_4", "TRFD+Make", "ARC2D+Fsck"):
+        counts = traces[name].count_ops()
+        assert counts[Op.BARRIER] > 0, name
+
+
+def test_shell_has_no_barriers(traces):
+    # Shell's jobs are all serial (Table 5: barrier misses ~0).
+    assert traces["Shell"].count_ops()[Op.BARRIER] == 0
+
+
+def test_all_have_locks(traces):
+    for name, trace in traces.items():
+        counts = trace.count_ops()
+        assert counts[Op.LOCK_ACQ] > 0, name
+        assert counts[Op.LOCK_ACQ] == counts[Op.LOCK_REL], name
+
+
+def test_shell_block_sizes_skew_small(traces):
+    shell = [op.size for op in traces["Shell"].blockops]
+    trfd = [op.size for op in traces["TRFD_4"].blockops]
+    small_shell = sum(1 for s in shell if s < 1024) / len(shell)
+    small_trfd = sum(1 for s in trfd if s < 1024) / len(trfd)
+    assert small_shell > small_trfd
+
+
+def test_trfd_blocks_mostly_page_sized(traces):
+    sizes = [op.size for op in traces["TRFD_4"].blockops]
+    assert sum(1 for s in sizes if s == 4096) / len(sizes) > 0.5
+
+
+def test_workloads_include_zero_and_copy_ops(traces):
+    for name, trace in traces.items():
+        kinds = {op.kind for op in trace.blockops}
+        assert BlockOpKind.COPY in kinds, name
+
+
+def test_shell_has_idle_time(traces):
+    idle = sum(1 for r in traces["Shell"].records() if r.mode == Mode.IDLE)
+    assert idle > 0

@@ -1,0 +1,96 @@
+"""Unit tests for timed write buffers (repro.memsys.writebuffer)."""
+
+import pytest
+
+from repro.memsys.writebuffer import TimedWriteBuffer
+
+
+def fixed(duration):
+    """Service function taking a fixed number of cycles."""
+    return lambda start: start + duration
+
+
+def test_rejects_zero_depth():
+    with pytest.raises(ValueError):
+        TimedWriteBuffer(0)
+
+
+def test_no_stall_when_room():
+    wb = TimedWriteBuffer(4)
+    t, stall = wb.enqueue(100, fixed(3))
+    assert (t, stall) == (100, 0)
+
+
+def test_fifo_serialization():
+    wb = TimedWriteBuffer(4)
+    wb.enqueue(0, fixed(10))
+    wb.enqueue(0, fixed(10))
+    # The second entry starts only when the first finishes.
+    assert wb.last_service_end == 20
+
+
+def test_overflow_stalls_until_slot_frees():
+    wb = TimedWriteBuffer(2)
+    wb.enqueue(0, fixed(10))   # completes at 10
+    wb.enqueue(0, fixed(10))   # completes at 20
+    t, stall = wb.enqueue(0, fixed(10))
+    assert stall == 10         # waits for the first entry to retire
+    assert t == 10
+    assert wb.overflows == 1
+    assert wb.stall_cycles == 10
+
+
+def test_entries_expire_with_time():
+    wb = TimedWriteBuffer(2)
+    wb.enqueue(0, fixed(5))
+    wb.enqueue(0, fixed(5))
+    assert wb.occupancy(4) == 2
+    assert wb.occupancy(5) == 1
+    assert wb.occupancy(10) == 0
+
+
+def test_no_stall_after_drain():
+    wb = TimedWriteBuffer(1)
+    wb.enqueue(0, fixed(5))
+    t, stall = wb.enqueue(100, fixed(5))
+    assert (t, stall) == (100, 0)
+
+
+def test_drain_time_empty():
+    wb = TimedWriteBuffer(4)
+    assert wb.drain_time(42) == 42
+
+
+def test_drain_time_waits_for_last_entry():
+    wb = TimedWriteBuffer(4)
+    wb.enqueue(0, fixed(7))
+    wb.enqueue(0, fixed(7))
+    assert wb.drain_time(0) == 14
+    assert wb.drain_time(20) == 20
+
+
+def test_service_start_never_before_enqueue():
+    starts = []
+
+    def service(start):
+        starts.append(start)
+        return start + 1
+
+    wb = TimedWriteBuffer(4)
+    wb.enqueue(50, service)
+    wb.enqueue(40, service)  # enqueued "earlier" but serialized after
+    assert starts[0] == 50
+    assert starts[1] == 51
+
+
+def test_completion_before_start_rejected():
+    wb = TimedWriteBuffer(4)
+    with pytest.raises(ValueError):
+        wb.enqueue(10, lambda start: start - 1)
+
+
+def test_enqueue_counts():
+    wb = TimedWriteBuffer(2)
+    for _ in range(5):
+        wb.enqueue(0, fixed(1))
+    assert wb.enqueues == 5

@@ -1,0 +1,42 @@
+"""Calibration report: measured vs paper targets for Tables 1-3 and 5."""
+import sys
+from repro.synthetic import generate
+from repro.sim import simulate, standard_configs
+from repro.common.types import Mode, MissKind
+
+scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.5
+T1 = {  # user, idle, os, stall, missrate, osrd, osms
+ "TRFD_4": (49.9, 8.0, 42.1, 14.0, 3.5, 40.4, 53.4),
+ "TRFD+Make": (38.2, 8.2, 53.6, 14.9, 4.7, 53.6, 69.1),
+ "ARC2D+Fsck": (42.7, 11.5, 45.8, 11.3, 3.8, 44.5, 66.0),
+ "Shell": (23.8, 29.2, 47.0, 13.3, 3.2, 61.3, 65.9)}
+T2 = {"TRFD_4": (43.7, 14.8, 41.5), "TRFD+Make": (43.9, 11.3, 44.8),
+      "ARC2D+Fsck": (44.0, 12.9, 43.1), "Shell": (27.6, 6.2, 66.2)}
+T5 = {"TRFD_4": (45.6, 22.1, 12.6, 7.9, 11.8),
+      "TRFD+Make": (35.0, 19.9, 10.1, 13.5, 21.5),
+      "ARC2D+Fsck": (41.2, 22.5, 14.3, 1.9, 20.1),
+      "Shell": (4.8, 25.5, 24.7, 19.0, 26.0)}
+T3 = {"TRFD_4": (62.9, 19.6, 91.5, 1.9, 6.6),
+      "TRFD+Make": (71.1, 20.4, 70.3, 5.2, 24.5),
+      "ARC2D+Fsck": (61.4, 40.6, 30.8, 24.4, 44.8),
+      "Shell": (41.0, 2.6, 29.1, 3.6, 67.3)}
+
+for name in T1:
+    tr = generate(name, scale=scale)
+    m = simulate(tr, standard_configs()["Base"])
+    k = m.miss_kind_fractions()
+    got1 = (m.mode_fraction(Mode.USER)*100, m.mode_fraction(Mode.IDLE)*100,
+            m.mode_fraction(Mode.OS)*100, m.os_data_stall_fraction()*100,
+            m.data_miss_rate()*100, m.os_read_share()*100, m.os_miss_share()*100)
+    got2 = (k[MissKind.BLOCK_OP]*100, k[MissKind.COHERENCE]*100, k[MissKind.OTHER]*100)
+    cb = m.coherence_breakdown()
+    got5 = tuple(cb[x]*100 for x in ("Barriers","Infreq. Com.","Freq. Shared","Locks","Other"))
+    sd = m.blockops.size_distribution()
+    got3 = (m.blockops.pct_src_cached(), m.blockops.pct_dst_owned(),
+            sd["page"], sd["1k_to_page"], sd["lt_1k"])
+    def fmt(g, t): return "  ".join(f"{gi:5.1f}/{ti:4.1f}" for gi, ti in zip(g, t))
+    print(f"== {name} (recs={len(tr)})")
+    print(f"  T1 u/i/o/stall/mr/osrd/osms: {fmt(got1, T1[name])}")
+    print(f"  T2 blk/coh/other:            {fmt(got2, T2[name])}")
+    print(f"  T5 bar/inf/frq/lck/oth:      {fmt(got5, T5[name])}")
+    print(f"  T3 src/dstM/pg/mid/sm:       {fmt(got3, T3[name])}")
