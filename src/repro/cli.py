@@ -6,7 +6,8 @@ Subcommands::
     repro inspect   <trace.npz|.txt>
     repro simulate  <workload|trace file> [--config Base] [--scale S]
     repro report    [--scale S] [--only table1,figure3] [--ascii] [-o FILE]
-    repro ablation  <study> [--workload W] [--scale S]
+                    [--workers N] [--cache-dir DIR] [--no-cache]
+    repro ablation  <study> [--workload W] [--scale S] [--cache-dir DIR]
     repro calibrate [--scale S] [--only table2]
 
 Run as ``python -m repro.cli`` (or the module functions directly).
@@ -15,10 +16,12 @@ Run as ``python -m repro.cli`` (or the module functions directly).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
 from repro.common.types import Mode
+from repro.experiments.artifacts import DEFAULT_CACHE_DIR
 from repro.sim.config import standard_configs
 from repro.sim.system import simulate
 from repro.synthetic.workloads import WORKLOAD_ORDER, generate
@@ -86,13 +89,18 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.all import run_all
     only = [n.strip() for n in args.only.split(",") if n.strip()] or None
+    cache_dir = None if args.no_cache else args.cache_dir
     report = run_all(scale=args.scale, seed=args.seed, only=only,
-                     verbose=not args.quiet)
+                     verbose=not args.quiet, workers=args.workers,
+                     cache_dir=cache_dir)
     if args.ascii:
         from repro.analysis.ascii_charts import ascii_render
         from repro.analysis.figures import ALL_FIGURES
+        from repro.experiments.artifacts import ArtifactCache
         from repro.experiments.runner import ExperimentRunner
-        runner = ExperimentRunner(scale=args.scale, seed=args.seed)
+        cache = ArtifactCache(cache_dir) if cache_dir else None
+        runner = ExperimentRunner(scale=args.scale, seed=args.seed,
+                                  cache=cache)
         chunks = [report]
         for name in (only or list(ALL_FIGURES)):
             if name in ALL_FIGURES:
@@ -113,7 +121,7 @@ def cmd_ablation(args: argparse.Namespace) -> int:
               f"{sorted(ALL_STUDIES)}", file=sys.stderr)
         return 2
     points = run_study(args.study, workload=args.workload, scale=args.scale,
-                       seed=args.seed)
+                       seed=args.seed, cache_dir=args.cache_dir or None)
     print(render_study(f"{args.study} ({args.workload})", points))
     return 0
 
@@ -159,6 +167,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="append ASCII drawings of the figures")
     p.add_argument("-o", "--output", default="")
     p.add_argument("-q", "--quiet", action="store_true")
+    p.add_argument("--workers", type=int, default=os.cpu_count(),
+                   help="parallel sweep processes (default: os.cpu_count())")
+    p.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                   help="on-disk artifact cache directory "
+                        f"(default {DEFAULT_CACHE_DIR!r})")
+    p.add_argument("--no-cache", action="store_true",
+                   help="do not persist traces/artifacts on disk")
     p.set_defaults(fn=cmd_report)
 
     p = sub.add_parser("ablation", help="run a design-choice study")
@@ -166,6 +181,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workload", default="TRFD_4", choices=WORKLOAD_ORDER)
     p.add_argument("--scale", type=float, default=0.3)
     p.add_argument("--seed", type=int, default=1996)
+    p.add_argument("--cache-dir", default="",
+                   help="reuse/populate this artifact cache directory")
     p.set_defaults(fn=cmd_ablation)
 
     p = sub.add_parser("calibrate",

@@ -4,23 +4,38 @@ Usage::
 
     python -m repro.experiments.all [--scale 0.5] [--seed 1996]
         [--only table1,figure3] [--out results.txt]
+        [--workers N] [--cache-dir DIR] [--no-cache]
 
 One :class:`~repro.experiments.runner.ExperimentRunner` is shared across
-all artifacts so each trace, transform and simulation runs once.  The
-rendered output prints the same rows/series the paper reports.
+all artifacts so each trace, transform and simulation runs once.  With
+``--workers > 1`` the full workload x configuration matrix behind the
+selected artifacts is decomposed into jobs and pre-computed by the
+parallel engine (:mod:`repro.experiments.parallel`), printing a live job
+ledger; the table/figure builders then render from the warm in-memory
+cache.  ``--cache-dir`` (default ``.repro-cache``) persists traces and
+derived artifacts across runs — a repeat sweep skips every generation
+and derivation stage.  The rendered output prints the same rows/series
+the paper reports and is identical for any worker count and cache
+temperature.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import List, Optional
 
-from repro.analysis.figures import ALL_FIGURES
+from repro.analysis.figures import (ALL_FIGURES, FIG2_SYSTEMS, FIG3_SYSTEMS,
+                                    FIG4_SYSTEMS, FIG5_SYSTEMS, SWEEP_SYSTEMS)
 from repro.analysis.report import render
 from repro.analysis.tables import ALL_TABLES
-from repro.experiments.runner import ExperimentRunner
+from repro.common.params import BASE_MACHINE
+from repro.common.units import KB
+from repro.experiments.artifacts import DEFAULT_CACHE_DIR, ArtifactCache
+from repro.experiments.runner import Cell, ExperimentRunner
+from repro.synthetic.workloads import WORKLOAD_ORDER
 
 #: Paper order of artifacts.
 ARTIFACT_ORDER = [
@@ -28,19 +43,82 @@ ARTIFACT_ORDER = [
     "table4", "table5", "figure4", "figure5", "figure6", "figure7",
 ]
 
+#: L1D sizes (KB) swept by Figure 6 and line sizes (B) swept by Figure 7.
+FIG6_SIZES_KB = (16, 32, 64)
+FIG7_LINES = (16, 32, 64)
+
+
+def artifact_cells(name: str) -> List[Cell]:
+    """The (workload, config, machine) cells *name*'s builder will ask
+    the runner for — the parallel engine pre-computes exactly these."""
+    systems: List[str]
+    if name in ("table1", "table2", "table5", "figure1"):
+        systems = ["Base"]
+    elif name == "table3":
+        systems = ["Base", "Blk_Bypass"]
+    elif name == "table4":
+        return []  # static trace analysis; no simulation cells
+    elif name == "figure2":
+        systems = FIG2_SYSTEMS
+    elif name == "figure3":
+        systems = FIG3_SYSTEMS
+    elif name == "figure4":
+        systems = FIG4_SYSTEMS
+    elif name == "figure5":
+        systems = FIG5_SYSTEMS
+    elif name in ("figure6", "figure7"):
+        cells: List[Cell] = []
+        if name == "figure6":
+            machines = [BASE_MACHINE.with_l1d(size_bytes=kb * KB)
+                        for kb in FIG6_SIZES_KB]
+        else:
+            machines = [BASE_MACHINE.with_l1d(line_bytes=b, l2_line_bytes=64)
+                        for b in FIG7_LINES]
+        for machine in machines:
+            for workload in WORKLOAD_ORDER:
+                for system in ["Base"] + [s for s in SWEEP_SYSTEMS
+                                          if s != "Base"]:
+                    cells.append((workload, system, machine))
+        return cells
+    else:
+        raise KeyError(f"unknown artifact {name!r}; "
+                       f"choose from {ARTIFACT_ORDER}")
+    return [(w, s, None) for w in WORKLOAD_ORDER for s in systems]
+
 
 def run_all(scale: float = 0.5, seed: int = 1996,
-            only: Optional[List[str]] = None, verbose: bool = True) -> str:
-    """Build the selected artifacts; returns the rendered report."""
-    runner = ExperimentRunner(scale=scale, seed=seed)
+            only: Optional[List[str]] = None, verbose: bool = True,
+            workers: Optional[int] = 1,
+            cache_dir: Optional[str] = None) -> str:
+    """Build the selected artifacts; returns the rendered report.
+
+    *workers* > 1 routes the sweep through the parallel engine (``None``
+    means ``os.cpu_count()``); *cache_dir* attaches a persistent on-disk
+    artifact cache.  Neither changes the report's contents.
+    """
+    cache = ArtifactCache(cache_dir) if cache_dir else None
+    runner = ExperimentRunner(scale=scale, seed=seed, cache=cache,
+                              workers=workers)
     wanted = only if only else ARTIFACT_ORDER
+    unknown = [n for n in wanted
+               if n not in ALL_TABLES and n not in ALL_FIGURES]
+    if unknown:
+        raise KeyError(f"unknown artifact {unknown[0]!r}; "
+                       f"choose from {ARTIFACT_ORDER}")
+    if runner.workers > 1:
+        cells: List[Cell] = []
+        seen = set()
+        for name in wanted:
+            for cell in artifact_cells(name):
+                marker = (cell[0], cell[1], cell[2])
+                if marker not in seen:
+                    seen.add(marker)
+                    cells.append(cell)
+        runner.run_cells(cells, verbose=verbose)
     chunks = [f"Reproduction report (scale={scale}, seed={seed})",
               "=" * 60, ""]
     for name in wanted:
         builder = ALL_TABLES.get(name) or ALL_FIGURES.get(name)
-        if builder is None:
-            raise KeyError(f"unknown artifact {name!r}; "
-                           f"choose from {ARTIFACT_ORDER}")
         start = time.time()
         artifact = builder(runner)
         elapsed = time.time() - start
@@ -49,6 +127,8 @@ def run_all(scale: float = 0.5, seed: int = 1996,
         chunks.append(f"### {name}")
         chunks.append(render(artifact))
         chunks.append("")
+    if verbose and runner.cache is not None:
+        print(f"[artifact cache: {runner.cache.summary()}]", file=sys.stderr)
     return "\n".join(chunks)
 
 
@@ -62,9 +142,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="comma-separated artifact names")
     parser.add_argument("--out", type=str, default="",
                         help="also write the report to this file")
+    parser.add_argument("--workers", type=int, default=os.cpu_count(),
+                        help="parallel sweep processes "
+                             "(default: os.cpu_count())")
+    parser.add_argument("--cache-dir", type=str, default=DEFAULT_CACHE_DIR,
+                        help="on-disk artifact cache directory "
+                             f"(default {DEFAULT_CACHE_DIR!r})")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="do not persist traces/artifacts on disk")
     args = parser.parse_args(argv)
     only = [n.strip() for n in args.only.split(",") if n.strip()] or None
-    report = run_all(scale=args.scale, seed=args.seed, only=only)
+    cache_dir = None if args.no_cache else args.cache_dir
+    report = run_all(scale=args.scale, seed=args.seed, only=only,
+                     workers=args.workers, cache_dir=cache_dir)
     print(report)
     if args.out:
         with open(args.out, "w") as fp:

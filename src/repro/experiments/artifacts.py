@@ -1,0 +1,258 @@
+"""Content-addressed on-disk artifact cache for experiment sweeps.
+
+A full table/figure sweep needs, per workload, a generated trace plus
+four derived artifacts (the privatized trace, the update-core selection,
+the hot-spot PC list, and the prefetch-annotated trace).  All of them
+are deterministic functions of ``(scale, seed, workload, machine
+parameters, derivation stage)``, so they can be cached on disk and
+shared both *across runs* (a second ``experiments/all.py`` sweep skips
+every generation/derivation step) and *across processes* (the parallel
+engine's workers exchange artifacts through the cache instead of
+pickling multi-megabyte traces over pipes).
+
+Design:
+
+* **Content-addressed keys.**  :func:`stage_key` hashes the canonical
+  JSON encoding of every input that the artifact depends on — including
+  a full fingerprint of the machine parameters
+  (:func:`machine_fingerprint`) and the cache format version — so any
+  parameter change lands in a fresh slot and stale entries are simply
+  never read again.
+* **NPZ payloads for traces** via :mod:`repro.trace.npzio`; small
+  artifacts (update selections, hot-spot lists) are stored as JSON.
+* **Corruption safety.**  Writes go to a temporary file in the same
+  directory followed by an atomic :func:`os.replace`; loads treat *any*
+  failure (truncated archive, bad JSON, version mismatch) as a cache
+  miss, delete the offending file, and let the caller recompute.
+
+:class:`SimKey` is the typed key shared by the in-memory metrics cache
+of :class:`repro.experiments.runner.ExperimentRunner` and the parallel
+engine's result maps.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from collections import Counter
+from typing import Any, Dict, List, Optional
+
+from repro.common.params import MachineParams
+from repro.optim.update_select import UpdateSelection
+from repro.trace import npzio
+from repro.trace.stream import Trace
+
+#: Bump when the on-disk layout or any cached payload format changes;
+#: old entries become unreachable (different key space) rather than
+#: misinterpreted.
+CACHE_VERSION = 1
+
+#: Known derivation stages, in pipeline order (used for reporting).
+STAGES = ("trace", "privatized", "update", "hotspots", "prefetched")
+
+#: Default on-disk cache location used by the CLI (relative to the CWD).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def machine_fingerprint(machine: MachineParams) -> str:
+    """Stable short hash of *every* machine parameter.
+
+    The in-memory runner used to key results by the (L1D, L2) geometry
+    tuple only; a persistent cache needs the full parameter set or an
+    ablation that tweaks, say, the DMA beat rate would alias the Base
+    machine's entries.
+    """
+    blob = json.dumps(dataclasses.asdict(machine), sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+@dataclasses.dataclass(frozen=True)
+class SimKey:
+    """Typed key of one simulation cell: who ran, under what, on what."""
+
+    workload: str
+    config: str
+    machine: str  # machine_fingerprint() of the simulated machine
+
+    @classmethod
+    def of(cls, workload: str, config: str,
+           machine: MachineParams) -> "SimKey":
+        return cls(workload, config, machine_fingerprint(machine))
+
+
+def stage_key(stage: str, scale: float, seed: int, workload: str,
+              machine: Optional[MachineParams] = None,
+              extra: Optional[Dict[str, Any]] = None) -> str:
+    """Content hash identifying one artifact.
+
+    *machine* is omitted for stages that do not depend on the hardware
+    (trace generation and privatization are pure trace transforms).
+    """
+    payload = {
+        "version": CACHE_VERSION,
+        "stage": stage,
+        "scale": scale,
+        "seed": seed,
+        "workload": workload,
+        "machine": machine_fingerprint(machine) if machine else None,
+        "extra": extra or {},
+    }
+    blob = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class ArtifactCache:
+    """Directory of content-addressed experiment artifacts.
+
+    Layout: ``<root>/v<CACHE_VERSION>/<key[:2]>/<key>.{npz,json}``.
+    Instances are cheap; every worker process opens its own handle on
+    the shared directory.  ``stats`` counts ``"<stage>.hit"``,
+    ``"<stage>.miss"`` and ``"<stage>.store"`` events so callers (and
+    the benchmark suite) can assert what was recomputed.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = os.fspath(root)
+        self.dir = os.path.join(self.root, f"v{CACHE_VERSION}")
+        self.stats: Counter = Counter()
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def _path(self, key: str, kind: str) -> str:
+        return os.path.join(self.dir, key[:2], f"{key}.{kind}")
+
+    def _atomic_write(self, path: str, writer) -> None:
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   prefix=".tmp-", suffix=os.path.basename(path))
+        os.close(fd)
+        try:
+            writer(tmp)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    def _drop(self, path: str) -> None:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Traces
+    # ------------------------------------------------------------------
+    def load_trace(self, key: str, stage: str = "trace") -> Optional[Trace]:
+        """The cached trace under *key*, or ``None`` (miss/corrupt)."""
+        path = self._path(key, "npz")
+        if not os.path.exists(path):
+            self.stats[f"{stage}.miss"] += 1
+            return None
+        try:
+            trace = npzio.load(path)
+        except Exception:
+            # Truncated download, crashed writer, version skew: recompute.
+            self._drop(path)
+            self.stats[f"{stage}.miss"] += 1
+            self.stats[f"{stage}.corrupt"] += 1
+            return None
+        self.stats[f"{stage}.hit"] += 1
+        return trace
+
+    def store_trace(self, key: str, trace: Trace,
+                    stage: str = "trace") -> None:
+        self._atomic_write(self._path(key, "npz"),
+                           lambda tmp: npzio.save(trace, tmp))
+        self.stats[f"{stage}.store"] += 1
+
+    # ------------------------------------------------------------------
+    # JSON artifacts
+    # ------------------------------------------------------------------
+    def load_json(self, key: str, stage: str) -> Optional[Any]:
+        """The cached JSON payload under *key*, or ``None``."""
+        path = self._path(key, "json")
+        if not os.path.exists(path):
+            self.stats[f"{stage}.miss"] += 1
+            return None
+        try:
+            with open(path) as fp:
+                envelope = json.load(fp)
+            if envelope.get("version") != CACHE_VERSION:
+                raise ValueError("cache version mismatch")
+            payload = envelope["payload"]
+        except Exception:
+            self._drop(path)
+            self.stats[f"{stage}.miss"] += 1
+            self.stats[f"{stage}.corrupt"] += 1
+            return None
+        self.stats[f"{stage}.hit"] += 1
+        return payload
+
+    def store_json(self, key: str, payload: Any, stage: str) -> None:
+        envelope = {"version": CACHE_VERSION, "stage": stage,
+                    "payload": payload}
+
+        def writer(tmp: str) -> None:
+            with open(tmp, "w") as fp:
+                json.dump(envelope, fp)
+
+        self._atomic_write(self._path(key, "json"), writer)
+        self.stats[f"{stage}.store"] += 1
+
+    # ------------------------------------------------------------------
+    # Typed helpers for the derivation pipeline's small artifacts
+    # ------------------------------------------------------------------
+    def load_update_selection(self, key: str) -> Optional[UpdateSelection]:
+        payload = self.load_json(key, "update")
+        if payload is None:
+            return None
+        try:
+            return UpdateSelection(
+                pages=[int(p) for p in payload["pages"]],
+                variables=[str(v) for v in payload["variables"]],
+                core_bytes=int(payload["core_bytes"]),
+                covered_misses=int(payload["covered_misses"]))
+        except Exception:
+            return None
+
+    def store_update_selection(self, key: str,
+                               selection: UpdateSelection) -> None:
+        self.store_json(key, {
+            "pages": list(selection.pages),
+            "variables": list(selection.variables),
+            "core_bytes": selection.core_bytes,
+            "covered_misses": selection.covered_misses,
+        }, "update")
+
+    def load_hotspots(self, key: str) -> Optional[List[int]]:
+        payload = self.load_json(key, "hotspots")
+        if payload is None:
+            return None
+        try:
+            return [int(pc) for pc in payload]
+        except Exception:
+            return None
+
+    def store_hotspots(self, key: str, pcs: List[int]) -> None:
+        self.store_json(key, list(pcs), "hotspots")
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def hits(self) -> int:
+        return sum(n for e, n in self.stats.items() if e.endswith(".hit"))
+
+    def misses(self) -> int:
+        return sum(n for e, n in self.stats.items() if e.endswith(".miss"))
+
+    def stores(self) -> int:
+        return sum(n for e, n in self.stats.items() if e.endswith(".store"))
+
+    def summary(self) -> str:
+        return (f"{self.hits()} hits, {self.misses()} misses, "
+                f"{self.stores()} stores")

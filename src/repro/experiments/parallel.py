@@ -1,0 +1,268 @@
+"""Parallel experiment engine: the sweep matrix as a job DAG.
+
+A paper sweep is a workload x configuration matrix.  Serially it is
+bottlenecked by Python's single-core simulation loop; but the matrix
+decomposes naturally into independent jobs:
+
+* ``trace`` — generate one workload's trace (no dependencies);
+* ``derive`` — run the derivation pipeline of one workload (profile on
+  Base, select the update core, profile on BCoh_RelUp, pick hot spots,
+  build the prefetched trace); depends on that workload's trace;
+* ``sim`` — simulate one (workload, config, machine) cell; depends on
+  the trace, plus the derivation when the config uses privatization,
+  selective update, or hot-spot prefetching.
+
+:class:`ParallelEngine` schedules these jobs across a
+:class:`concurrent.futures.ProcessPoolExecutor` (worker count
+configurable, default ``os.cpu_count()``).  Workers exchange artifacts
+through the content-addressed on-disk cache
+(:mod:`repro.experiments.artifacts`) rather than over pickled pipes:
+a ``derive`` job writes the privatized/prefetched traces, update pages,
+and hot-spot list into the cache, and the ``sim`` jobs that depend on it
+read them back.  Every job is a deterministic function of its inputs,
+so the merged result map is bit-identical to a serial sweep regardless
+of worker count, completion order, or cache temperature.
+
+The ``derive`` job necessarily simulates Base and BCoh_RelUp on the
+engine's machine (the paper derives its optimizations from profiling
+runs); those metrics are returned as results, so requested cells they
+cover are never simulated twice.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import sys
+import tempfile
+import time
+from collections import Counter
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.params import BASE_MACHINE, MachineParams
+from repro.experiments.artifacts import ArtifactCache, SimKey
+from repro.sim.config import standard_configs
+from repro.sim.metrics import SystemMetrics
+
+#: A simulation cell: (workload, config name, machine).
+Cell = Tuple[str, str, MachineParams]
+
+#: Config names whose metrics fall out of a derivation run for free.
+DERIVE_PROFILES = ("Base", "BCoh_RelUp")
+
+
+@dataclasses.dataclass(frozen=True)
+class Job:
+    """One node of the sweep DAG."""
+
+    job_id: str
+    kind: str  # "trace" | "derive" | "sim"
+    workload: str
+    config: str = ""
+    machine: Optional[MachineParams] = None
+    deps: Tuple[str, ...] = ()
+    #: For derive jobs: requested profile configs whose metrics this job
+    #: must return (on a warm cache the derivation alone runs no sims).
+    profiles: Tuple[str, ...] = ()
+
+    def label(self) -> str:
+        parts = [self.kind, self.workload]
+        if self.config:
+            parts.append(self.config)
+        return " ".join(parts)
+
+
+def _needs_derivation(config_name: str) -> bool:
+    config = standard_configs()[config_name]
+    return (config.privatize or config.selective_update
+            or config.hotspot_prefetch)
+
+
+def plan_jobs(cells: Sequence[Cell],
+              machine: MachineParams) -> List[Job]:
+    """Decompose *cells* into a dependency-ordered job list.
+
+    *machine* is the engine's profiling machine: derivations run on it
+    (matching :class:`~repro.experiments.runner.ExperimentRunner`), and
+    cells it covers via :data:`DERIVE_PROFILES` get no ``sim`` job.
+    """
+    workloads: List[str] = []
+    derive: List[str] = []
+    for workload, config, _m in cells:
+        if workload not in workloads:
+            workloads.append(workload)
+        if _needs_derivation(config) and workload not in derive:
+            derive.append(workload)
+
+    covered: Dict[str, List[str]] = {w: [] for w in derive}
+    sims: List[Job] = []
+    seen = set()
+    for workload, config, cell_machine in cells:
+        key = SimKey.of(workload, config, cell_machine)
+        if key in seen:
+            continue
+        seen.add(key)
+        if (workload in derive and config in DERIVE_PROFILES
+                and cell_machine == machine):
+            covered[workload].append(config)  # produced by the derive job
+            continue
+        dep = (f"derive:{workload}" if _needs_derivation(config)
+               else f"trace:{workload}")
+        sims.append(Job(f"sim:{workload}:{config}:{key.machine}", "sim",
+                        workload, config=config, machine=cell_machine,
+                        deps=(dep,)))
+
+    jobs: List[Job] = []
+    for workload in workloads:
+        jobs.append(Job(f"trace:{workload}", "trace", workload))
+    for workload in derive:
+        jobs.append(Job(f"derive:{workload}", "derive", workload,
+                        deps=(f"trace:{workload}",),
+                        profiles=tuple(covered[workload])))
+    jobs.extend(sims)
+    return jobs
+
+
+def _execute_job(payload: dict) -> Tuple[str, float, List[Tuple[SimKey, SystemMetrics]], dict]:
+    """Worker entry point: run one job against the shared disk cache."""
+    from repro.experiments.runner import ExperimentRunner
+
+    start = time.time()
+    cache = ArtifactCache(payload["cache_dir"])
+    runner = ExperimentRunner(scale=payload["scale"], seed=payload["seed"],
+                              machine=payload["machine"],
+                              cache=cache, workers=1)
+    kind = payload["kind"]
+    results: List[Tuple[SimKey, SystemMetrics]] = []
+    if kind == "trace":
+        runner.trace(payload["workload"])
+    elif kind == "derive":
+        runner.derive_all(payload["workload"])
+        for config in payload["profiles"]:
+            runner.run(payload["workload"], config)
+        results = sorted(runner._metrics.items(),
+                         key=lambda item: (item[0].workload, item[0].config))
+    elif kind == "sim":
+        metrics = runner.run(payload["workload"], payload["config"],
+                             machine=payload["sim_machine"])
+        results = [(SimKey.of(payload["workload"], payload["config"],
+                              payload["sim_machine"]), metrics)]
+    else:  # pragma: no cover - planner only emits the kinds above
+        raise ValueError(f"unknown job kind {kind!r}")
+    return payload["job_id"], time.time() - start, results, dict(cache.stats)
+
+
+class ParallelEngine:
+    """Executes a sweep's job DAG across a process pool."""
+
+    def __init__(self, scale: float = 0.5, seed: int = 1996,
+                 machine: MachineParams = BASE_MACHINE,
+                 cache: Optional[ArtifactCache] = None,
+                 workers: Optional[int] = None) -> None:
+        self.scale = scale
+        self.seed = seed
+        self.machine = machine
+        self.cache = cache
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        #: Aggregated worker-side cache stats of the last execute() call.
+        self.last_stats: Counter = Counter()
+
+    def _payload(self, job: Job, cache_dir: str) -> dict:
+        return {
+            "job_id": job.job_id,
+            "kind": job.kind,
+            "workload": job.workload,
+            "config": job.config,
+            "sim_machine": job.machine,
+            "profiles": job.profiles,
+            "scale": self.scale,
+            "seed": self.seed,
+            "machine": self.machine,
+            "cache_dir": cache_dir,
+        }
+
+    def execute(self, cells: Sequence[Cell], verbose: bool = False,
+                ) -> Dict[SimKey, SystemMetrics]:
+        """Run every cell; returns metrics keyed by :class:`SimKey`.
+
+        The result map also contains the Base/BCoh_RelUp profiling
+        metrics of derived workloads (they fall out of the derive jobs),
+        which callers may merge into their own caches.
+        """
+        cells = [(w, c, m if m is not None else self.machine)
+                 for (w, c, m) in cells]
+        jobs = plan_jobs(cells, self.machine)
+        tmp: Optional[tempfile.TemporaryDirectory] = None
+        if self.cache is not None:
+            cache_dir = self.cache.root
+        else:
+            tmp = tempfile.TemporaryDirectory(prefix="repro-artifacts-")
+            cache_dir = tmp.name
+        try:
+            return self._run_jobs(jobs, cache_dir, verbose)
+        finally:
+            if tmp is not None:
+                tmp.cleanup()
+
+    # ------------------------------------------------------------------
+    # Scheduler
+    # ------------------------------------------------------------------
+    def _run_jobs(self, jobs: List[Job], cache_dir: str,
+                  verbose: bool) -> Dict[SimKey, SystemMetrics]:
+        by_id = {job.job_id: job for job in jobs}
+        pending = {job.job_id: set(job.deps) for job in jobs}
+        for job_id, deps in pending.items():
+            missing = deps - by_id.keys()
+            if missing:  # pragma: no cover - planner invariant
+                raise ValueError(f"job {job_id} depends on unknown {missing}")
+        start = time.time()
+        done_count = 0
+        results: Dict[SimKey, SystemMetrics] = {}
+        self.last_stats: Counter = Counter()
+        self._log(verbose, f"[engine] {len(jobs)} jobs across "
+                           f"{self.workers} workers (cache: {cache_dir})")
+        max_workers = max(1, min(self.workers, len(jobs)))
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            running = {}
+
+            def submit_ready() -> None:
+                for job_id in list(pending):
+                    if not pending[job_id]:
+                        job = by_id[job_id]
+                        running[pool.submit(
+                            _execute_job,
+                            self._payload(job, cache_dir))] = job_id
+                        del pending[job_id]
+
+            submit_ready()
+            while running:
+                finished, _ = wait(running, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    job_id = running.pop(future)
+                    done_id, elapsed, job_results, stats = future.result()
+                    assert done_id == job_id
+                    for key, metrics in job_results:
+                        results[key] = metrics
+                    self.last_stats.update(stats)
+                    done_count += 1
+                    self._log(verbose,
+                              f"[{done_count:>3}/{len(jobs)}] "
+                              f"{elapsed:>6.1f}s  {by_id[job_id].label()}")
+                    for deps in pending.values():
+                        deps.discard(job_id)
+                submit_ready()
+        hits = sum(n for e, n in self.last_stats.items()
+                   if e.endswith(".hit"))
+        stores = sum(n for e, n in self.last_stats.items()
+                     if e.endswith(".store"))
+        self._log(verbose, f"[engine] sweep finished in "
+                           f"{time.time() - start:.1f}s "
+                           f"({done_count} jobs, cache: {hits} hits, "
+                           f"{stores} stores)")
+        return results
+
+    @staticmethod
+    def _log(verbose: bool, message: str) -> None:
+        if verbose:
+            print(message, file=sys.stderr, flush=True)

@@ -7,6 +7,14 @@ basic blocks, the prefetch-annotated trace), and simulate the requested
 configuration.  :class:`ExperimentRunner` performs and caches each step so
 a full table/figure sweep generates each trace and derived artifact once.
 
+Caching is two-level: every artifact lives in this process's in-memory
+maps, and — when the runner is given an
+:class:`~repro.experiments.artifacts.ArtifactCache` — traces and derived
+artifacts also persist in the content-addressed on-disk cache, shared
+across runs and across the parallel engine's worker processes.
+Simulation results are keyed by the frozen
+:class:`~repro.experiments.artifacts.SimKey` dataclass.
+
 The derivation pipeline mirrors the paper's methodology:
 
 * privatization/relocation and hot-spot prefetching are kernel source
@@ -16,13 +24,21 @@ The derivation pipeline mirrors the paper's methodology:
 * hot spots are the 12 basic blocks with the most misses remaining after
   the block and coherence optimizations (section 6), i.e. they are
   measured on the BCoh_RelUp system, not on Base.
+
+Profiling runs (and therefore the derived artifacts) always use the
+runner's *own* machine, even when :meth:`run` is asked to simulate a
+machine variant: Figures 6 and 7 sweep the hardware under a kernel that
+was tuned on the Base machine.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+import os
+import tempfile
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.common.params import BASE_MACHINE, MachineParams
+from repro.experiments.artifacts import ArtifactCache, SimKey, stage_key
 from repro.optim.hotspots import HotspotPrefetcher, find_hotspots
 from repro.optim.privatize import privatize_and_relocate
 from repro.optim.update_select import UpdateSelection, select_update_core
@@ -35,26 +51,51 @@ from repro.trace.stream import Trace
 #: Number of hot spots the paper selects (section 6).
 NUM_HOTSPOTS = 12
 
-
-def _machine_key(machine: MachineParams) -> Tuple[int, int, int, int]:
-    return (machine.l1d.size_bytes, machine.l1d.line_bytes,
-            machine.l2.size_bytes, machine.l2.line_bytes)
+#: A simulation cell: (workload, config name, machine or None=runner's).
+Cell = Tuple[str, str, Optional[MachineParams]]
 
 
 class ExperimentRunner:
-    """Caches traces, derived artifacts, and simulation results."""
+    """Caches traces, derived artifacts, and simulation results.
+
+    :param cache: optional on-disk artifact cache shared across runs and
+        worker processes.  Without one, artifacts live only in memory.
+    :param workers: process count for :meth:`run_matrix` /
+        :meth:`run_cells`; ``1`` keeps the historical serial behaviour,
+        ``None`` means ``os.cpu_count()``.  A multi-worker runner with no
+        cache gets a private temporary cache for the life of the runner,
+        since workers exchange artifacts through the cache directory.
+    """
 
     def __init__(self, scale: float = 0.5, seed: int = 1996,
-                 machine: MachineParams = BASE_MACHINE) -> None:
+                 machine: MachineParams = BASE_MACHINE,
+                 cache: Optional[ArtifactCache] = None,
+                 workers: Optional[int] = 1) -> None:
         self.scale = scale
         self.seed = seed
         self.machine = machine
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        self._tmp_cache_dir: Optional[tempfile.TemporaryDirectory] = None
+        if cache is None and self.workers > 1:
+            self._tmp_cache_dir = tempfile.TemporaryDirectory(
+                prefix="repro-artifacts-")
+            cache = ArtifactCache(self._tmp_cache_dir.name)
+        self.cache = cache
         self._traces: Dict[str, Trace] = {}
         self._privatized: Dict[str, Trace] = {}
         self._update: Dict[str, UpdateSelection] = {}
         self._hot_pcs: Dict[str, List[int]] = {}
         self._prefetched: Dict[str, Trace] = {}
-        self._metrics: Dict[Tuple, SystemMetrics] = {}
+        self._metrics: Dict[SimKey, SystemMetrics] = {}
+
+    # ------------------------------------------------------------------
+    # Cache keys
+    # ------------------------------------------------------------------
+    def _key(self, stage: str, workload: str, **extra) -> str:
+        machine = self.machine if stage in ("update", "hotspots",
+                                            "prefetched") else None
+        return stage_key(stage, self.scale, self.seed, workload,
+                         machine=machine, extra=extra or None)
 
     # ------------------------------------------------------------------
     # Cached artifacts
@@ -62,44 +103,94 @@ class ExperimentRunner:
     def trace(self, workload: str) -> Trace:
         """The raw trace of *workload*."""
         if workload not in self._traces:
-            self._traces[workload] = generate(workload, seed=self.seed,
-                                              scale=self.scale)
+            trace = None
+            key = self._key("trace", workload)
+            if self.cache is not None:
+                trace = self.cache.load_trace(key, "trace")
+            if trace is None:
+                trace = generate(workload, seed=self.seed, scale=self.scale)
+                if self.cache is not None:
+                    self.cache.store_trace(key, trace, "trace")
+            self._traces[workload] = trace
         return self._traces[workload]
 
     def privatized_trace(self, workload: str) -> Trace:
         """The trace after privatization/relocation (section 5.1)."""
         if workload not in self._privatized:
-            trace = self.trace(workload)
-            self._privatized[workload] = privatize_and_relocate(
-                trace, trace.num_cpus)
+            trace = None
+            key = self._key("privatized", workload)
+            if self.cache is not None:
+                trace = self.cache.load_trace(key, "privatized")
+            if trace is None:
+                raw = self.trace(workload)
+                trace = privatize_and_relocate(raw, raw.num_cpus)
+                if self.cache is not None:
+                    self.cache.store_trace(key, trace, "privatized")
+            self._privatized[workload] = trace
         return self._privatized[workload]
 
     def update_selection(self, workload: str) -> UpdateSelection:
         """The update-protocol core chosen from a Base profiling run."""
         if workload not in self._update:
-            base = self.run(workload, "Base")
-            self._update[workload] = select_update_core(
-                base, self.trace(workload).symbols,
-                page_bytes=self.machine.page_bytes)
+            selection = None
+            key = self._key("update", workload)
+            if self.cache is not None:
+                selection = self.cache.load_update_selection(key)
+            if selection is None:
+                base = self.run(workload, "Base")
+                selection = select_update_core(
+                    base, self.trace(workload).symbols,
+                    page_bytes=self.machine.page_bytes)
+                if self.cache is not None:
+                    self.cache.store_update_selection(key, selection)
+            self._update[workload] = selection
         return self._update[workload]
 
     def hotspots(self, workload: str) -> List[int]:
         """The 12 hottest basic blocks, measured on BCoh_RelUp."""
         if workload not in self._hot_pcs:
-            profile = self.run(workload, "BCoh_RelUp")
-            self._hot_pcs[workload] = find_hotspots(profile, NUM_HOTSPOTS)
+            pcs = None
+            key = self._key("hotspots", workload, count=NUM_HOTSPOTS)
+            if self.cache is not None:
+                pcs = self.cache.load_hotspots(key)
+            if pcs is None:
+                profile = self.run(workload, "BCoh_RelUp")
+                pcs = find_hotspots(profile, NUM_HOTSPOTS)
+                if self.cache is not None:
+                    self.cache.store_hotspots(key, pcs)
+            self._hot_pcs[workload] = pcs
         return self._hot_pcs[workload]
 
     def prefetched_trace(self, workload: str) -> Trace:
         """The privatized trace with hot-spot prefetches inserted."""
         if workload not in self._prefetched:
             config = standard_configs()["BCPref"]
-            prefetcher = HotspotPrefetcher(
-                self.hotspots(workload), lead=config.hotspot_lead_records,
-                line_bytes=self.machine.l1d.line_bytes)
-            self._prefetched[workload] = prefetcher.apply(
-                self.privatized_trace(workload))
+            trace = None
+            key = self._key("prefetched", workload, count=NUM_HOTSPOTS,
+                            lead=config.hotspot_lead_records)
+            if self.cache is not None:
+                trace = self.cache.load_trace(key, "prefetched")
+            if trace is None:
+                prefetcher = HotspotPrefetcher(
+                    self.hotspots(workload),
+                    lead=config.hotspot_lead_records,
+                    line_bytes=self.machine.l1d.line_bytes)
+                trace = prefetcher.apply(self.privatized_trace(workload))
+                if self.cache is not None:
+                    self.cache.store_trace(key, trace, "prefetched")
+            self._prefetched[workload] = trace
         return self._prefetched[workload]
+
+    def derive_all(self, workload: str) -> None:
+        """Materialize every derived artifact of *workload*.
+
+        Runs the full derivation chain (Base profile -> update selection
+        -> BCoh_RelUp profile -> hot spots -> prefetched trace); with a
+        disk cache attached this persists all five artifact stages.  The
+        parallel engine's "derive" jobs call this in a worker.
+        """
+        self.prefetched_trace(workload)
+        self.update_selection(workload)
 
     # ------------------------------------------------------------------
     # Simulation
@@ -108,7 +199,7 @@ class ExperimentRunner:
             machine: Optional[MachineParams] = None) -> SystemMetrics:
         """Simulate *workload* under the named standard configuration."""
         machine = machine if machine is not None else self.machine
-        key = (workload, config_name, _machine_key(machine))
+        key = SimKey.of(workload, config_name, machine)
         if key in self._metrics:
             return self._metrics[key]
         config = standard_configs(machine)[config_name]
@@ -133,13 +224,45 @@ class ExperimentRunner:
         return simulate(trace, config, update_pages=update_pages,
                         hotspot_pcs=hotspot_pcs)
 
+    # ------------------------------------------------------------------
+    # Sweeps
+    # ------------------------------------------------------------------
+    def run_cells(self, cells: Sequence[Cell],
+                  verbose: bool = False) -> Dict[SimKey, SystemMetrics]:
+        """Run many (workload, config, machine) cells, in parallel when
+        the runner was built with ``workers > 1``.
+
+        Results are merged into the in-memory metrics cache, so later
+        serial :meth:`run` calls (e.g. from table/figure builders) are
+        cache hits.  The returned map covers exactly the requested
+        cells; its contents are independent of worker count and job
+        completion order.
+        """
+        cells = [(w, c, m if m is not None else self.machine)
+                 for (w, c, m) in cells]
+        wanted = {SimKey.of(w, c, m) for (w, c, m) in cells}
+        todo = [(w, c, m) for (w, c, m) in cells
+                if SimKey.of(w, c, m) not in self._metrics]
+        if todo and self.workers > 1:
+            from repro.experiments.parallel import ParallelEngine
+            engine = ParallelEngine(scale=self.scale, seed=self.seed,
+                                    machine=self.machine, cache=self.cache,
+                                    workers=self.workers)
+            self._metrics.update(engine.execute(todo, verbose=verbose))
+        else:
+            for (w, c, m) in todo:
+                self.run(w, c, machine=m)
+        return {key: self._metrics[key] for key in wanted}
+
     def run_matrix(self, config_names: Iterable[str],
                    workloads: Optional[Iterable[str]] = None,
+                   verbose: bool = False,
                    ) -> Dict[Tuple[str, str], SystemMetrics]:
         """Run every (workload, config) pair; returns the result map."""
         workloads = list(workloads) if workloads else WORKLOAD_ORDER
-        out = {}
-        for workload in workloads:
-            for name in config_names:
-                out[(workload, name)] = self.run(workload, name)
-        return out
+        config_names = list(config_names)
+        cells: List[Cell] = [(w, c, None) for w in workloads
+                             for c in config_names]
+        self.run_cells(cells, verbose=verbose)
+        return {(w, c): self._metrics[SimKey.of(w, c, self.machine)]
+                for w in workloads for c in config_names}

@@ -395,3 +395,60 @@ class SystemMetrics:
     def hottest_pcs(self, count: int) -> List[int]:
         """The *count* basic blocks with the most OS misses (section 6)."""
         return [pc for pc, _n in self.os_miss_pc.most_common(count)]
+
+    def snapshot(self) -> Dict[str, object]:
+        """Canonical, order-independent dump of every measured quantity.
+
+        Counters and sets are rendered as sorted structures so two
+        :class:`SystemMetrics` are equal *iff* their snapshots are — the
+        determinism tests use this to assert that serial and parallel
+        sweeps (and cold- vs warm-cache runs) produce bit-identical
+        results, independent of process boundaries and pickling.
+        """
+        def counter(c: Counter) -> Dict[str, int]:
+            return {str(k): int(v) for k, v in sorted(
+                c.items(), key=lambda item: str(item[0]))}
+
+        return {
+            "num_cpus": self.num_cpus,
+            "page_bytes": self.page_bytes,
+            "time": {m.name: self.time[m].as_dict() for m in Mode},
+            "reads": counter(self.reads),
+            "writes": counter(self.writes),
+            "read_misses": counter(self.read_misses),
+            "os_miss_kind": counter(self.os_miss_kind),
+            "os_coh_dclass": counter(self.os_coh_dclass),
+            "os_miss_pc": counter(self.os_miss_pc),
+            "os_miss_dclass": counter(self.os_miss_dclass),
+            "os_coh_addr": counter(self.os_coh_addr),
+            "displacement_inside": self.displacement_inside,
+            "displacement_outside": self.displacement_outside,
+            "reuse_inside": self.reuse_inside,
+            "reuse_outside": self.reuse_outside,
+            "blk_read_stall": self.blk_read_stall,
+            "blk_write_stall": self.blk_write_stall,
+            "blk_displ_stall": self.blk_displ_stall,
+            "blk_instr_exec": self.blk_instr_exec,
+            "blockops": {f: getattr(self.blockops, f)
+                         for f in BlockOpStats.__slots__},
+            "dma_ops": self.dma_ops,
+            "dma_stall": self.dma_stall,
+            "prefetches_issued": self.prefetches_issued,
+            "hotspot_pcs": sorted(self.hotspot_pcs),
+            "os_hotspot_misses": self.os_hotspot_misses,
+            "bus_busy_cycles": self.bus_busy_cycles,
+            "bus_wait_cycles": self.bus_wait_cycles,
+            "bus_traffic": {k: self.bus_traffic[k]
+                            for k in sorted(self.bus_traffic)},
+            "bus_transactions": {k: self.bus_transactions[k]
+                                 for k in sorted(self.bus_transactions)},
+            "updates_sent": self.updates_sent,
+            "invalidations_sent": self.invalidations_sent,
+            "cache_to_cache": self.cache_to_cache,
+            "writebacks": self.writebacks,
+            "lock_acquisitions": self.lock_acquisitions,
+            "lock_contended": self.lock_contended,
+            "barrier_episodes": self.barrier_episodes,
+            "cpu_end_times": list(self.cpu_end_times),
+            "makespan": self.makespan,
+        }

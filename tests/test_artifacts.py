@@ -1,0 +1,178 @@
+"""Tests for the on-disk artifact cache (repro.experiments.artifacts)."""
+
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.common.params import BASE_MACHINE
+from repro.common.units import KB
+from repro.experiments.artifacts import (ArtifactCache, SimKey,
+                                         machine_fingerprint, stage_key)
+from repro.experiments.runner import ExperimentRunner
+from repro.optim.update_select import UpdateSelection
+
+SCALE = 0.05
+SEED = 11
+
+
+@pytest.fixture(scope="module")
+def warm(tmp_path_factory):
+    """A cache populated with every artifact kind by one runner."""
+    root = tmp_path_factory.mktemp("artifact-cache")
+    runner = ExperimentRunner(scale=SCALE, seed=SEED,
+                              cache=ArtifactCache(root))
+    runner.derive_all("Shell")
+    return root, runner
+
+
+# ----------------------------------------------------------------------
+# Keys
+# ----------------------------------------------------------------------
+def test_machine_fingerprint_covers_every_parameter():
+    import dataclasses
+    base = machine_fingerprint(BASE_MACHINE)
+    geometry = machine_fingerprint(BASE_MACHINE.with_l1d(size_bytes=16 * KB))
+    # The old in-memory key only looked at cache geometry; the disk cache
+    # must distinguish e.g. a different DMA beat rate too.
+    dma = machine_fingerprint(dataclasses.replace(
+        BASE_MACHINE, dma=dataclasses.replace(BASE_MACHINE.dma,
+                                              bus_cycles_per_beat=4)))
+    assert len({base, geometry, dma}) == 3
+    assert machine_fingerprint(BASE_MACHINE) == base
+
+
+def test_stage_key_distinguishes_inputs():
+    keys = {
+        stage_key("trace", 0.5, 1996, "Shell"),
+        stage_key("trace", 0.5, 1996, "TRFD_4"),
+        stage_key("trace", 0.5, 1997, "Shell"),
+        stage_key("trace", 0.25, 1996, "Shell"),
+        stage_key("privatized", 0.5, 1996, "Shell"),
+        stage_key("hotspots", 0.5, 1996, "Shell", machine=BASE_MACHINE),
+        stage_key("hotspots", 0.5, 1996, "Shell", machine=BASE_MACHINE,
+                  extra={"count": 8}),
+    }
+    assert len(keys) == 7
+
+
+def _key_in_subprocess(_):
+    return (stage_key("hotspots", 0.5, 1996, "Shell", machine=BASE_MACHINE,
+                      extra={"count": 12}),
+            machine_fingerprint(BASE_MACHINE))
+
+
+def test_keys_stable_across_processes():
+    """Workers and the parent must agree on every cache address."""
+    parent = _key_in_subprocess(None)
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        children = list(pool.map(_key_in_subprocess, range(2)))
+    assert children == [parent, parent]
+
+
+def test_simkey_is_typed_and_hashable():
+    a = SimKey.of("Shell", "Base", BASE_MACHINE)
+    b = SimKey.of("Shell", "Base", BASE_MACHINE)
+    c = SimKey.of("Shell", "Base", BASE_MACHINE.with_l1d(size_bytes=16 * KB))
+    assert a == b and hash(a) == hash(b)
+    assert a != c
+    assert {a: 1}[b] == 1
+
+
+# ----------------------------------------------------------------------
+# Round-trips of every artifact kind
+# ----------------------------------------------------------------------
+def test_roundtrip_all_artifact_kinds(warm):
+    root, runner = warm
+    reader = ExperimentRunner(scale=SCALE, seed=SEED,
+                              cache=ArtifactCache(root))
+    for name, original, restored in [
+        ("trace", runner.trace("Shell"), reader.trace("Shell")),
+        ("privatized", runner.privatized_trace("Shell"),
+         reader.privatized_trace("Shell")),
+        ("prefetched", runner.prefetched_trace("Shell"),
+         reader.prefetched_trace("Shell")),
+    ]:
+        assert len(restored) == len(original), name
+        assert restored.metadata == original.metadata, name
+        for sa, sb in zip(original.streams, restored.streams):
+            assert sa == sb, name
+    assert reader.update_selection("Shell") == runner.update_selection("Shell")
+    assert reader.hotspots("Shell") == runner.hotspots("Shell")
+    # Everything above must have come from disk: no generation on reader.
+    stats = reader.cache.stats
+    assert stats["trace.hit"] == 1
+    assert all(not event.endswith(".miss") or count == 0
+               for event, count in stats.items()), dict(stats)
+
+
+def test_update_selection_payload_roundtrip(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    selection = UpdateSelection(pages=[4096, 8192],
+                                variables=["barrier0", "lock3"],
+                                core_bytes=384, covered_misses=17)
+    cache.store_update_selection("k" * 64, selection)
+    assert cache.load_update_selection("k" * 64) == selection
+
+
+def test_hotspots_payload_roundtrip(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    cache.store_hotspots("h" * 64, [10, 20, 30])
+    assert cache.load_hotspots("h" * 64) == [10, 20, 30]
+
+
+# ----------------------------------------------------------------------
+# Corruption and versioning
+# ----------------------------------------------------------------------
+def _cache_files(root, suffix):
+    return [os.path.join(dirpath, f)
+            for dirpath, _dirs, files in os.walk(root)
+            for f in files if f.endswith(suffix)]
+
+
+def test_truncated_trace_triggers_recompute(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    runner = ExperimentRunner(scale=SCALE, seed=SEED, cache=cache)
+    trace = runner.trace("Shell")
+    (npz_file,) = _cache_files(tmp_path, ".npz")
+    with open(npz_file, "r+b") as fp:  # truncate mid-archive
+        fp.truncate(100)
+    fresh = ArtifactCache(tmp_path)
+    recomputed = ExperimentRunner(scale=SCALE, seed=SEED, cache=fresh)
+    restored = recomputed.trace("Shell")  # must not raise
+    assert len(restored) == len(trace)
+    assert fresh.stats["trace.corrupt"] == 1
+    assert fresh.stats["trace.store"] == 1  # recomputed and re-stored
+
+
+def test_garbage_json_triggers_recompute(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    cache.store_hotspots("g" * 64, [1, 2, 3])
+    (json_file,) = _cache_files(tmp_path, ".json")
+    with open(json_file, "w") as fp:
+        fp.write("{not json")
+    fresh = ArtifactCache(tmp_path)
+    assert fresh.load_hotspots("g" * 64) is None
+    assert not os.path.exists(json_file)  # bad entry evicted
+
+
+def test_version_mismatch_is_a_miss(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    cache.store_hotspots("v" * 64, [1, 2])
+    (json_file,) = _cache_files(tmp_path, ".json")
+    with open(json_file) as fp:
+        envelope = json.load(fp)
+    envelope["version"] = 999
+    with open(json_file, "w") as fp:
+        json.dump(envelope, fp)
+    assert ArtifactCache(tmp_path).load_hotspots("v" * 64) is None
+
+
+def test_cold_cache_counts_misses(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    runner = ExperimentRunner(scale=SCALE, seed=SEED, cache=cache)
+    runner.trace("Shell")
+    assert cache.stats["trace.miss"] == 1
+    assert cache.stats["trace.store"] == 1
+    assert cache.summary().endswith("1 stores")
