@@ -123,6 +123,17 @@ class Scheme(enum.IntEnum):
     DMA = 4
 
 
+#: Fast Mode lookup used by the simulator hot path.  ``Mode(value)`` runs
+#: the whole enum ``__call__`` machinery on every trace record; this table
+#: is a single dict probe.  Because :class:`Mode` is an ``IntEnum``, its
+#: members hash and compare equal to their integer values, so the table
+#: resolves both plain ints and already-normalized members to the member.
+MODE_BY_VALUE = {int(m): m for m in Mode}
+
+#: Same trick for record opcodes (trace loaders may hand the simulator
+#: plain ints; everything downstream expects :class:`Op` members).
+OP_BY_VALUE = {int(o): o for o in Op}
+
 #: Data classes whose coherence misses Table 5 groups under each heading.
 COHERENCE_GROUPS = {
     "Barriers": (DataClass.BARRIER_VAR,),

@@ -15,32 +15,38 @@ from repro.memsys.states import LineState
 
 
 class DirectMappedCache:
-    """Tag-only direct-mapped cache (used for L1I and L1D)."""
+    """Tag-only direct-mapped cache (used for L1I and L1D).
 
-    __slots__ = ("params", "_line_bytes", "_num_lines", "tags", "fills",
+    ``line_bytes``, ``num_lines`` and ``tags`` are public on purpose: the
+    simulator's L1-hit fast path binds them once and probes the tag array
+    directly, skipping the :meth:`present` call per reference.  ``tags``
+    is mutated in place only, so a bound reference never goes stale.
+    """
+
+    __slots__ = ("params", "line_bytes", "num_lines", "tags", "fills",
                  "evictions")
 
     def __init__(self, params: CacheParams) -> None:
         self.params = params
-        self._line_bytes = params.line_bytes
-        self._num_lines = params.num_lines
+        self.line_bytes = params.line_bytes
+        self.num_lines = params.num_lines
         #: Line-aligned address held by each set, or -1 when empty.
-        self.tags: List[int] = [-1] * self._num_lines
+        self.tags: List[int] = [-1] * self.num_lines
         self.fills = 0
         self.evictions = 0
 
     def line_addr(self, addr: int) -> int:
         """Line-aligned address containing *addr*."""
-        return addr - (addr % self._line_bytes)
+        return addr - (addr % self.line_bytes)
 
     def set_index(self, addr: int) -> int:
         """Set index of *addr*."""
-        return (addr // self._line_bytes) % self._num_lines
+        return (addr // self.line_bytes) % self.num_lines
 
     def present(self, addr: int) -> bool:
         """True when the line containing *addr* is cached."""
-        line = self.line_addr(addr)
-        return self.tags[(line // self._line_bytes) % self._num_lines] == line
+        line = addr - addr % self.line_bytes
+        return self.tags[(line // self.line_bytes) % self.num_lines] == line
 
     def fill(self, addr: int) -> int:
         """Install the line containing *addr*.
@@ -49,7 +55,7 @@ class DirectMappedCache:
         was empty or already held the line.
         """
         line = self.line_addr(addr)
-        idx = (line // self._line_bytes) % self._num_lines
+        idx = (line // self.line_bytes) % self.num_lines
         old = self.tags[idx]
         if old == line:
             return -1
@@ -63,7 +69,7 @@ class DirectMappedCache:
     def invalidate(self, addr: int) -> bool:
         """Drop the line containing *addr*; returns True if it was present."""
         line = self.line_addr(addr)
-        idx = (line // self._line_bytes) % self._num_lines
+        idx = (line // self.line_bytes) % self.num_lines
         if self.tags[idx] == line:
             self.tags[idx] = -1
             return True
@@ -76,7 +82,7 @@ class DirectMappedCache:
         """
         dropped = []
         first = self.line_addr(base)
-        for line in range(first, base + size, self._line_bytes):
+        for line in range(first, base + size, self.line_bytes):
             if self.invalidate(line):
                 dropped.append(line)
         return dropped
@@ -93,12 +99,12 @@ class CoherentCache(DirectMappedCache):
 
     def __init__(self, params: CacheParams) -> None:
         super().__init__(params)
-        self.states: List[LineState] = [LineState.INVALID] * self._num_lines
+        self.states: List[LineState] = [LineState.INVALID] * self.num_lines
 
     def state_of(self, addr: int) -> LineState:
         """MESI state of the line containing *addr* (INVALID if absent)."""
-        line = self.line_addr(addr)
-        idx = (line // self._line_bytes) % self._num_lines
+        line = addr - addr % self.line_bytes
+        idx = (line // self.line_bytes) % self.num_lines
         if self.tags[idx] == line:
             return self.states[idx]
         return LineState.INVALID
@@ -106,7 +112,7 @@ class CoherentCache(DirectMappedCache):
     def set_state(self, addr: int, state: LineState) -> None:
         """Set the MESI state of a resident line."""
         line = self.line_addr(addr)
-        idx = (line // self._line_bytes) % self._num_lines
+        idx = (line // self.line_bytes) % self.num_lines
         if self.tags[idx] != line:
             raise KeyError(f"line {line:#x} not resident")
         self.states[idx] = state
@@ -120,7 +126,7 @@ class CoherentCache(DirectMappedCache):
         ``(-1, None)`` when nothing was displaced.
         """
         line = self.line_addr(addr)
-        idx = (line // self._line_bytes) % self._num_lines
+        idx = (line // self.line_bytes) % self.num_lines
         old_tag = self.tags[idx]
         old_state = self.states[idx]
         self.tags[idx] = line
@@ -135,7 +141,7 @@ class CoherentCache(DirectMappedCache):
 
     def invalidate(self, addr: int) -> bool:
         line = self.line_addr(addr)
-        idx = (line // self._line_bytes) % self._num_lines
+        idx = (line // self.line_bytes) % self.num_lines
         if self.tags[idx] == line:
             self.tags[idx] = -1
             self.states[idx] = LineState.INVALID

@@ -27,7 +27,7 @@ from repro.memsys.cache import CoherentCache, DirectMappedCache
 from repro.memsys.coherence import CoherenceController
 from repro.memsys.prefetch import PendingFills, PrefetchLineBuffer
 from repro.memsys.sink import MemorySink, MissFlags, NO_FLAGS
-from repro.memsys.states import LineState, is_owned
+from repro.memsys.states import LineState
 from repro.memsys.writebuffer import TimedWriteBuffer
 
 #: Levels an access can be satisfied from, for statistics.
@@ -143,12 +143,35 @@ class CpuMemorySystem:
         return AccessResult(insert_t + 1, stall=stall, miss=not hit,
                             level=LEVEL_WB)
 
+    def write_cycles(self, addr: int, t: int) -> "tuple[int, int]":
+        """:meth:`write` without the :class:`AccessResult` wrapper.
+
+        The processor's hot path only consumes ``(done, stall)`` from a
+        write — hit/miss classification does not feed the paper's write
+        accounting — so this variant skips the result-object allocation.
+        Must stay behaviourally identical to :meth:`write`.
+        """
+        l1d = self.l1d
+        line_bytes = l1d.line_bytes
+        line = addr - addr % line_bytes
+        if l1d.tags[(line // line_bytes) % l1d.num_lines] != line:
+            self._l1_fill(addr)
+        insert_t, stall = self.wb1.enqueue(t, lambda s: self._drain_word(addr, s))
+        return insert_t + 1, stall
+
     def _drain_word(self, addr: int, start: int) -> int:
         """Retire one word from WB1 into the L2 / bus.  Returns completion."""
+        # Owned line in the L2 (the common case): one fused tag/state
+        # probe instead of a state_of + set_state pair.
+        l2 = self.l2
+        line = addr - addr % l2.line_bytes
+        idx = (line // l2.line_bytes) % l2.num_lines
+        if l2.tags[idx] == line:
+            state = l2.states[idx]
+            if state is LineState.MODIFIED or state is LineState.EXCLUSIVE:
+                l2.states[idx] = LineState.MODIFIED
+                return start + self.machine.write_buffers.l1_drain_cycles
         state = self.l2.state_of(addr)
-        if is_owned(state):
-            self.l2.set_state(addr, LineState.MODIFIED)
-            return start + self.machine.write_buffers.l1_drain_cycles
         controller = self.controller
         if state == LineState.SHARED:
             if controller.is_update_addr(addr):
@@ -168,9 +191,14 @@ class CpuMemorySystem:
         is charged by the processor).
         """
         l1i = self.l1i
-        line_bytes = l1i.params.line_bytes
-        line = l1i.line_addr(pc)
+        line_bytes = l1i.line_bytes
+        line = pc - pc % line_bytes
         end = pc + 4 * icount
+        # Fast path: the whole fetch sits in one resident line — by far
+        # the common case for short basic blocks.
+        if (end <= line + line_bytes
+                and l1i.tags[(line // line_bytes) % l1i.num_lines] == line):
+            return 0
         stall = 0
         while line < end:
             if not l1i.present(line):

@@ -21,15 +21,22 @@ from typing import Dict, Optional
 
 
 class PendingFills:
-    """Arrival times of lines prefetched into the caches."""
+    """Arrival times of lines prefetched into the caches.
+
+    ``ready`` is public: the simulator's L1-hit fast path binds the dict
+    once and uses a membership probe to decide whether a resident line
+    still has a fill in flight (in which case it takes the slow path,
+    which calls :meth:`consume`).  The dict is mutated in place only.
+    """
 
     def __init__(self) -> None:
-        self._ready: Dict[int, int] = {}
+        #: line address -> cycle the prefetched data arrives.
+        self.ready: Dict[int, int] = {}
         self.issued = 0
 
     def add(self, line: int, ready: int) -> None:
         """Record that *line* was requested and arrives at *ready*."""
-        self._ready[line] = ready
+        self.ready[line] = ready
         self.issued += 1
 
     def consume(self, line: int, t: int) -> int:
@@ -37,21 +44,21 @@ class PendingFills:
 
         The entry is removed once the data has arrived or been waited for.
         """
-        ready = self._ready.pop(line, None)
+        ready = self.ready.pop(line, None)
         if ready is None or ready <= t:
             return 0
         return ready - t
 
     def peek(self, line: int) -> Optional[int]:
         """Arrival time of *line* if a fill is pending, else None."""
-        return self._ready.get(line)
+        return self.ready.get(line)
 
     def drop(self, line: int) -> None:
         """Forget a pending fill (line was invalidated or evicted)."""
-        self._ready.pop(line, None)
+        self.ready.pop(line, None)
 
     def __len__(self) -> int:
-        return len(self._ready)
+        return len(self.ready)
 
 
 class PrefetchLineBuffer:

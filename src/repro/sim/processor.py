@@ -9,15 +9,37 @@ and reports times and misses to the metrics layer.
 Synchronization records interact with the shared lock table and barrier
 manager; a processor that cannot make progress returns a blocked status and
 the system scheduler advances simulated time for it.
+
+Hot-path layout
+---------------
+
+:meth:`Processor.step` is the single hottest function in the repository —
+it runs once per trace record across every experiment cell.  It therefore:
+
+* resolves a *clean L1D hit* (line resident, no pending prefetch fill, no
+  scheme-specific block-op handling) inline against the bound L1 tag
+  array, without entering the :class:`CpuMemorySystem` call chain — the
+  overwhelming majority of references in the paper's workloads are such
+  hits (Table 2 reports low miss rates on every machine);
+* routes writes through :meth:`CpuMemorySystem.write_cycles`, which skips
+  the :class:`AccessResult` wrapper the write accounting never reads;
+* converts record fields to enum members through precomputed lookup
+  tables (``MODE_BY_VALUE``) instead of enum constructors, and
+  accumulates time components directly into the plain int fields of the
+  per-mode :class:`~repro.sim.metrics.TimeBreakdown`.
+
+Every shortcut must keep :meth:`SystemMetrics.snapshot` bit-identical to
+the straightforward path; ``tests/test_fastpath_equivalence.py`` and the
+golden-value tests enforce this.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.common.errors import SimulationError
-from repro.common.types import Mode, Op, Scheme
+from repro.common.types import MODE_BY_VALUE, Mode, Op, Scheme
 from repro.memsys.dma import run_dma
 from repro.memsys.hierarchy import CpuMemorySystem
 from repro.sim.config import SystemConfig
@@ -28,6 +50,19 @@ from repro.trace.record import TraceRecord
 
 #: Cycles a spinning processor waits between lock retries.
 SPIN_QUANTUM = 16
+
+_MODE_OF = MODE_BY_VALUE
+
+# Opcode values as plain ints: IntEnum members compare to ints at C speed,
+# without the enum __eq__ dispatch.
+_READ = int(Op.READ)
+_WRITE = int(Op.WRITE)
+_PREFETCH = int(Op.PREFETCH)
+_LOCK_ACQ = int(Op.LOCK_ACQ)
+_LOCK_REL = int(Op.LOCK_REL)
+_BARRIER = int(Op.BARRIER)
+_BLOCK_START = int(Op.BLOCK_START)
+_BLOCK_END = int(Op.BLOCK_END)
 
 
 class ProcStatus(enum.Enum):
@@ -40,24 +75,36 @@ class ProcStatus(enum.Enum):
 class StepResult:
     """Outcome of one :meth:`Processor.step` call."""
 
-    __slots__ = ("status", "lock_addr", "barrier_release")
+    __slots__ = ("status", "lock_addr", "barrier_release", "mode")
 
     def __init__(self, status: ProcStatus, lock_addr: int = 0,
-                 barrier_release: Optional[Tuple[int, List[int]]] = None) -> None:
+                 barrier_release: Optional[Tuple[int, List[int]]] = None,
+                 mode: Optional[Mode] = None) -> None:
         self.status = status
         self.lock_addr = lock_addr
         self.barrier_release = barrier_release
+        #: Mode of the blocking record (set for BLOCKED_LOCK results so the
+        #: scheduler can attribute spin time without re-reading the stream).
+        self.mode = mode
+
+
+#: Shared results for the two allocation-heavy outcomes.  ``step`` returns
+#: these for plain running/done steps; callers only read the fields.
+_RESULT_RUNNING = StepResult(ProcStatus.RUNNING)
+_RESULT_DONE = StepResult(ProcStatus.DONE)
 
 
 class Processor:
     """One simulated CPU."""
 
-    def __init__(self, cpu_id: int, stream: List[TraceRecord],
+    def __init__(self, cpu_id: int, stream: Sequence[TraceRecord],
                  blockops: BlockOpRegistry, mem: CpuMemorySystem,
                  metrics: SystemMetrics, config: SystemConfig,
                  locks: LockTable, barriers: BarrierManager) -> None:
         self.cpu_id = cpu_id
-        self.stream = stream
+        #: Immutable snapshot of the stream: tuple indexing skips the
+        #: list's bounds/ob_item indirection in the per-record loop.
+        self.stream: Tuple[TraceRecord, ...] = tuple(stream)
         self.blockops = blockops
         self.mem = mem
         self.metrics = metrics
@@ -71,6 +118,25 @@ class Processor:
         self._blk_desc: Optional[BlockOpDescriptor] = None
         self._blk_last_src_line = -1
         self._barrier_rec: Optional[TraceRecord] = None
+        # --- hot-path bindings (all mutated in place by their owners) ---
+        self._n = len(self.stream)
+        self._l1_tags = mem.l1d.tags
+        self._l1_line_bytes = mem.l1d.line_bytes
+        self._l1_sets = mem.l1d.num_lines
+        self._l1i_tags = mem.l1i.tags
+        self._l1i_line_bytes = mem.l1i.line_bytes
+        self._l1i_sets = mem.l1i.num_lines
+        self._l1_hit = mem.machine.l1_hit_cycles
+        self._pending_ready = mem.pending.ready
+        self._time = metrics.time
+        self._reads = metrics.reads
+        self._writes = metrics.writes
+        # Scheme flags deciding when a block-op record may use the plain
+        # cached fast path.  PREF/BYPREF reads need the lookahead-prefetch
+        # side effects; BYPASS writes need the destination line register.
+        scheme = config.scheme
+        self._blk_read_plain = scheme not in (Scheme.PREF, Scheme.BYPREF)
+        self._blk_write_plain = scheme != Scheme.BYPASS
 
     # ------------------------------------------------------------------
     # Scheduling interface
@@ -81,14 +147,15 @@ class Processor:
             raise SimulationError(f"cpu {self.cpu_id} woken while not waiting")
         rec = self._barrier_rec
         assert rec is not None
+        mode = _MODE_OF[rec.mode]
         wait = max(0, release_time - self.time)
-        self.metrics.add_time(Mode(rec.mode), sync=wait)
+        self.metrics.add_time(mode, sync=wait)
         self.time = max(self.time, release_time)
         # Re-read the barrier word the releaser just wrote (the spin-exit
         # read): the invalidation protocol makes this a coherence miss.
         res = self.mem.read(rec.addr, self.time)
         self.metrics.record_read(self.cpu_id, rec, res, in_blockop=False)
-        self.metrics.add_time(Mode(rec.mode), exec_cycles=1, dread=res.stall,
+        self.metrics.add_time(mode, exec_cycles=1, dread=res.stall,
                               pref=res.pref_stall)
         self.time = res.done
         self._barrier_rec = None
@@ -99,61 +166,107 @@ class Processor:
     # ------------------------------------------------------------------
     def step(self) -> StepResult:
         """Process the next record; returns the resulting status."""
-        if self.status != ProcStatus.RUNNING:
+        if self.status is not ProcStatus.RUNNING:
             raise SimulationError(f"step on {self.status} cpu {self.cpu_id}")
-        if self.pos >= len(self.stream):
+        pos = self.pos
+        if pos >= self._n:
             self.status = ProcStatus.DONE
-            return StepResult(ProcStatus.DONE)
-        rec = self.stream[self.pos]
+            return _RESULT_DONE
+        rec = self.stream[pos]
         op = rec.op
 
         # A held lock blocks *before* the record is consumed; the system
         # scheduler advances our clock (spinning) and retries.
-        if op == Op.LOCK_ACQ:
+        if op == _LOCK_ACQ:
             holder = self.locks.holder(rec.addr)
             if holder is not None and holder != self.cpu_id:
-                return StepResult(ProcStatus.BLOCKED_LOCK, lock_addr=rec.addr)
+                return StepResult(ProcStatus.BLOCKED_LOCK, lock_addr=rec.addr,
+                                  mode=_MODE_OF[rec.mode])
 
-        self.pos += 1
-        mode = Mode(rec.mode)
+        self.pos = pos + 1
+        mode = _MODE_OF[rec.mode]
+        icount = rec.icount
+        t = self.time
 
-        # Instruction fetch and execution for this basic block.
-        istall = self.mem.ifetch(rec.pc, rec.icount, self.time) if rec.icount else 0
-        exec_cycles = rec.icount
-        t = self.time + exec_cycles + istall
+        # Instruction fetch and execution for this basic block.  The
+        # whole-fetch-in-one-resident-L1I-line case (short basic blocks)
+        # is resolved inline; anything else goes through the hierarchy.
+        if icount:
+            pc = rec.pc
+            i_bytes = self._l1i_line_bytes
+            iline = pc - pc % i_bytes
+            if (pc + 4 * icount <= iline + i_bytes
+                    and self._l1i_tags[(iline // i_bytes) % self._l1i_sets]
+                    == iline):
+                istall = 0
+            else:
+                istall = self.mem.ifetch(pc, icount, t)
+        else:
+            istall = 0
+        exec_cycles = icount
+        t += icount + istall
 
-        if op == Op.READ:
-            t, extra_exec = self._do_read(rec, t)
-            exec_cycles += extra_exec
-        elif op == Op.WRITE:
-            t = self._do_write(rec, t)
+        blk = self._blk_desc
+        if op == _READ:
+            addr = rec.addr
+            line_bytes = self._l1_line_bytes
+            line = addr - addr % line_bytes
+            if ((blk is None or not rec.blockop or self._blk_read_plain)
+                    and self._l1_tags[(line // line_bytes) % self._l1_sets]
+                    == line
+                    and line not in self._pending_ready):
+                # Clean L1D hit: one read for this mode, zero stall.
+                self._reads[mode] += 1
+                exec_cycles += 1
+                t += self._l1_hit
+            else:
+                t, extra_exec = self._do_read(rec, t)
+                exec_cycles += extra_exec
+        elif op == _WRITE:
             exec_cycles += 1
-        elif op == Op.PREFETCH:
+            if blk is None or not rec.blockop or self._blk_write_plain:
+                done, stall = self.mem.write_cycles(rec.addr, t)
+                self._writes[mode] += 1
+                if rec.blockop:
+                    self.metrics.blk_write_stall += stall
+                if stall:
+                    self._time[mode].dwrite += stall
+                t = done
+            else:
+                t = self._do_write(rec, t)
+        elif op == _PREFETCH:
             self.mem.prefetch_line(rec.addr, t)
             self.metrics.record_prefetch_issued()
-        elif op == Op.LOCK_ACQ:
+        elif op == _LOCK_ACQ:
             t = self._do_lock_acquire(rec, t)
             exec_cycles += 2
-        elif op == Op.LOCK_REL:
+        elif op == _LOCK_REL:
             t = self._do_lock_release(rec, t)
             exec_cycles += 1
-        elif op == Op.BLOCK_START:
+        elif op == _BLOCK_START:
             t = self._do_block_start(rec, t)
-        elif op == Op.BLOCK_END:
+        elif op == _BLOCK_END:
             t = self._do_block_end(rec, t)
-        elif op == Op.BARRIER:
+        elif op == _BARRIER:
             return self._do_barrier(rec, t, exec_cycles, istall)
         else:  # pragma: no cover - enum is exhaustive
             raise SimulationError(f"unhandled op {op}")
 
-        self.metrics.add_time(mode, exec_cycles=exec_cycles, imiss=istall)
-        if self._blk_desc is not None or op in (Op.BLOCK_START, Op.BLOCK_END):
-            self.metrics.record_block_exec(exec_cycles + istall)
+        breakdown = self._time[mode]
+        breakdown.exec_cycles += exec_cycles
+        if istall:
+            breakdown.imiss += istall
+        # ``blk`` is the pre-step state: a BLOCK_START enters (and a
+        # BLOCK_END leaves) block context during this very record, which
+        # the opcode checks cover — matching the post-step condition the
+        # accounting was defined with.
+        if blk is not None or op == _BLOCK_START or op == _BLOCK_END:
+            self.metrics.blk_instr_exec += exec_cycles + istall
         self.time = t
-        if self.pos >= len(self.stream):
+        if self.pos >= self._n:
             self.status = ProcStatus.DONE
-            return StepResult(ProcStatus.DONE)
-        return StepResult(ProcStatus.RUNNING)
+            return _RESULT_DONE
+        return _RESULT_RUNNING
 
     # ------------------------------------------------------------------
     # Data accesses
@@ -174,7 +287,7 @@ class Processor:
         else:
             res = mem.read(rec.addr, t)
         self.metrics.record_read(self.cpu_id, rec, res, in_blockop)
-        self.metrics.add_time(Mode(rec.mode), dread=res.stall,
+        self.metrics.add_time(_MODE_OF[rec.mode], dread=res.stall,
                               pref=res.pref_stall)
         return res.done, extra_exec
 
@@ -186,7 +299,7 @@ class Processor:
         else:
             res = mem.write(rec.addr, t)
         self.metrics.record_write(self.cpu_id, rec, res, in_blockop)
-        self.metrics.add_time(Mode(rec.mode), dwrite=res.stall)
+        self.metrics.add_time(_MODE_OF[rec.mode], dwrite=res.stall)
         return res.done
 
     def _lookahead_prefetch(self, rec: TraceRecord, t: int) -> int:
@@ -246,7 +359,7 @@ class Processor:
                     break
                 self._issue_block_prefetch(addr, t)
                 t += 1
-                self.metrics.add_time(Mode(rec.mode), exec_cycles=1)
+                self.metrics.add_time(_MODE_OF[rec.mode], exec_cycles=1)
         return t
 
     def _do_block_dma(self, rec: TraceRecord, desc: BlockOpDescriptor,
@@ -256,13 +369,13 @@ class Processor:
         stall = result.done - t
         self.metrics.record_dma(stall)
         # The paper assigns the whole DMA stall to D Read Miss.
-        self.metrics.add_time(Mode(rec.mode), dread=stall)
+        self.metrics.add_time(_MODE_OF[rec.mode], dread=stall)
         self.metrics.record_block_exec(stall)
         # Skip the word-level records; the engine replaced them.
-        while self.pos < len(self.stream):
+        while self.pos < self._n:
             skipped = self.stream[self.pos]
             self.pos += 1
-            if skipped.op == Op.BLOCK_END:
+            if skipped.op == _BLOCK_END:
                 break
         else:
             raise SimulationError(
@@ -272,7 +385,7 @@ class Processor:
     def _do_block_end(self, rec: TraceRecord, t: int) -> int:
         stall = self.mem.end_block_op(t)
         if stall:
-            self.metrics.add_time(Mode(rec.mode), dwrite=stall)
+            self.metrics.add_time(_MODE_OF[rec.mode], dwrite=stall)
         self._blk_desc = None
         self._blk_last_src_line = -1
         self.mem.in_blockop = False
@@ -311,39 +424,40 @@ class Processor:
     # Synchronization
     # ------------------------------------------------------------------
     def _do_lock_acquire(self, rec: TraceRecord, t: int) -> int:
+        mode = _MODE_OF[rec.mode]
         ok, grant = self.locks.try_acquire(rec.addr, self.cpu_id, t)
         if not ok:  # pragma: no cover - step() checked before consuming
             raise SimulationError("lock acquired while held")
         if grant > t:
-            self.metrics.add_time(Mode(rec.mode), sync=grant - t)
+            self.metrics.add_time(mode, sync=grant - t)
             t = grant
         # The RMW on the lock word: read (possibly a coherence miss on a
         # lock previously held elsewhere) then write (invalidates sharers).
         res = self.mem.read(rec.addr, t)
         self.metrics.record_read(self.cpu_id, rec, res,
                                  self._blk_desc is not None)
-        self.metrics.add_time(Mode(rec.mode), dread=res.stall,
-                              pref=res.pref_stall)
+        self.metrics.add_time(mode, dread=res.stall, pref=res.pref_stall)
         wres = self.mem.write(rec.addr, res.done)
         self.metrics.record_write(self.cpu_id, rec, wres, False)
-        self.metrics.add_time(Mode(rec.mode), dwrite=wres.stall)
+        self.metrics.add_time(mode, dwrite=wres.stall)
         return wres.done
 
     def _do_lock_release(self, rec: TraceRecord, t: int) -> int:
+        mode = _MODE_OF[rec.mode]
         # Release consistency: all buffered writes drain first.
         drained = self.mem.drain_writes(t)
         if drained > t:
-            self.metrics.add_time(Mode(rec.mode), dwrite=drained - t)
+            self.metrics.add_time(mode, dwrite=drained - t)
             t = drained
         res = self.mem.write(rec.addr, t)
         self.metrics.record_write(self.cpu_id, rec, res, False)
-        self.metrics.add_time(Mode(rec.mode), dwrite=res.stall)
+        self.metrics.add_time(mode, dwrite=res.stall)
         self.locks.release(rec.addr, self.cpu_id, res.done)
         return res.done
 
     def _do_barrier(self, rec: TraceRecord, t: int, exec_cycles: int,
                     istall: int) -> StepResult:
-        mode = Mode(rec.mode)
+        mode = _MODE_OF[rec.mode]
         drained = self.mem.drain_writes(t)
         if drained > t:
             self.metrics.add_time(mode, dwrite=drained - t)
@@ -366,7 +480,7 @@ class Processor:
         release, waiters = outcome
         self.metrics.add_time(mode, sync=max(0, release - t))
         self.time = max(t, release)
-        if self.pos >= len(self.stream):
+        if self.pos >= self._n:
             self.status = ProcStatus.DONE
             return StepResult(ProcStatus.DONE, barrier_release=outcome)
         return StepResult(ProcStatus.RUNNING, barrier_release=outcome)

@@ -7,14 +7,28 @@ to completion.  Scheduling always advances the runnable processor with the
 smallest local clock, which keeps bus reservations in approximately global
 time order and preserves the mutual exclusion of the traced critical
 sections.
+
+:meth:`MultiprocessorSystem.run` keeps the runnable set in a binary heap of
+``(time, cpu_id)`` entries, so each scheduling decision costs ``O(log P)``
+instead of rebuilding and scanning a list of all processors per record.
+The heap invariant is strict: **every RUNNING processor has exactly one
+entry, pushed immediately after its clock last changed** — a processor is
+out of the heap precisely while it is being stepped, waiting at a barrier,
+or done, so there are no stale entries and no lazy deletion.  Ties break on
+``cpu_id``, which reproduces the scan's first-minimum choice exactly.
+
+:meth:`run_scan` preserves the original scan-based loop as an executable
+reference; the equivalence tests run both over randomized traces and
+require bit-identical metrics snapshots.
 """
 
 from __future__ import annotations
 
+import heapq
 from typing import Iterable, List, Optional
 
 from repro.common.errors import DeadlockError, SimulationError
-from repro.common.types import Mode, Op
+from repro.common.types import MODE_BY_VALUE, Mode
 from repro.memsys.bus import Bus
 from repro.memsys.coherence import CoherenceController
 from repro.memsys.hierarchy import CpuMemorySystem
@@ -54,17 +68,67 @@ class MultiprocessorSystem:
         self.barriers = BarrierManager(machine.barrier_release_cycles)
         self.memories: List[CpuMemorySystem] = []
         self.processors: List[Processor] = []
+        streams = trace.sealed_streams()
         for cpu in range(trace.num_cpus):
             mem = CpuMemorySystem(machine, self.bus, self.controller,
                                   self.metrics.trackers[cpu])
             self.memories.append(mem)
             self.processors.append(
-                Processor(cpu, trace.streams[cpu], trace.blockops, mem,
+                Processor(cpu, streams[cpu], trace.blockops, mem,
                           self.metrics, config, self.locks, self.barriers))
-        self._spin_retries = [0] * trace.num_cpus
+        #: cpu_id -> consecutive failed lock retries; a cpu only has an
+        #: entry while it is actually spinning, so the common case (nobody
+        #: contended recently) is an empty dict, cleared by a truth test.
+        self._spin_retries: dict = {}
 
     def run(self) -> SystemMetrics:
-        """Run every stream to completion; returns the filled metrics."""
+        """Run every stream to completion; returns the filled metrics.
+
+        Heap scheduler — see the module docstring for the invariant.  The
+        processor's ``step`` is looked up per call on purpose: the timeline
+        recorder and several tests monkeypatch it on the instance.
+        """
+        procs = self.processors
+        running = ProcStatus.RUNNING
+        blocked = ProcStatus.BLOCKED_LOCK
+        push = heapq.heappush
+        pop = heapq.heappop
+        spin_retries = self._spin_retries
+        heap = [(p.time, p.cpu_id) for p in procs if p.status is running]
+        heapq.heapify(heap)
+        while heap:
+            _, cpu = pop(heap)
+            proc = procs[cpu]
+            result = proc.step()
+            status = result.status
+            if status is blocked:
+                self._spin(proc, result.lock_addr, result.mode)
+                push(heap, (proc.time, cpu))
+                continue
+            if spin_retries:
+                spin_retries.pop(cpu, None)
+            if status is running:
+                push(heap, (proc.time, cpu))
+            if result.barrier_release is not None:
+                release, waiters = result.barrier_release
+                for wcpu in waiters:
+                    wproc = procs[wcpu]
+                    wproc.wake_from_barrier(release)
+                    push(heap, (wproc.time, wcpu))
+        if not all(p.status is ProcStatus.DONE for p in procs):
+            waiting = [p.cpu_id for p in procs
+                       if p.status is ProcStatus.WAITING_BARRIER]
+            raise DeadlockError(
+                f"no runnable processor; cpus {waiting} wait at barriers")
+        return self._finalize()
+
+    def run_scan(self) -> SystemMetrics:
+        """Reference scheduler: rebuild-and-scan the runnable list per step.
+
+        This is the original O(P)-per-record loop.  It exists so the
+        equivalence tests can check that the heap scheduler produces
+        bit-identical metrics; experiments should call :meth:`run`.
+        """
         procs = self.processors
         while True:
             runnable = [p for p in procs if p.status == ProcStatus.RUNNING]
@@ -78,33 +142,44 @@ class MultiprocessorSystem:
             proc = min(runnable, key=lambda p: p.time)
             result = proc.step()
             if result.status == ProcStatus.BLOCKED_LOCK:
-                self._spin(proc, result.lock_addr)
-            else:
-                self._spin_retries[proc.cpu_id] = 0
+                self._spin(proc, result.lock_addr, result.mode)
+            elif self._spin_retries:
+                self._spin_retries.pop(proc.cpu_id, None)
             if result.barrier_release is not None:
                 release, waiters = result.barrier_release
                 for cpu in waiters:
                     procs[cpu].wake_from_barrier(release)
-        self.metrics.finalize([p.time for p in procs])
+        return self._finalize()
+
+    def _finalize(self) -> SystemMetrics:
+        self.metrics.finalize([p.time for p in self.processors])
         self.metrics.capture_system_stats(self.bus, self.controller,
                                           self.locks, self.barriers)
         return self.metrics
 
-    def _spin(self, proc: Processor, lock_addr: int) -> None:
-        """Advance a lock-spinning processor's clock past the holder's."""
+    def _spin(self, proc: Processor, lock_addr: int,
+              mode: Optional[Mode] = None) -> None:
+        """Advance a lock-spinning processor's clock past the holder's.
+
+        *mode* is the blocking record's mode, carried on the
+        :class:`StepResult` so retries do not re-read the stream; ``None``
+        (direct callers) falls back to looking it up.
+        """
         holder = self.locks.holder(lock_addr)
         if holder is None:
             return  # Released in the meantime; retry immediately.
-        self._spin_retries[proc.cpu_id] += 1
-        if self._spin_retries[proc.cpu_id] > MAX_SPIN_RETRIES:
+        retries = self._spin_retries.get(proc.cpu_id, 0) + 1
+        self._spin_retries[proc.cpu_id] = retries
+        if retries > MAX_SPIN_RETRIES:
             raise DeadlockError(
                 f"cpu {proc.cpu_id} spun too long on lock {lock_addr:#x} "
                 f"held by cpu {holder}")
         self.locks.note_contention()
         holder_time = self.processors[holder].time
         target = max(proc.time + SPIN_QUANTUM, holder_time + 1)
-        rec = proc.stream[proc.pos]
-        self.metrics.add_time(Mode(rec.mode), sync=target - proc.time)
+        if mode is None:
+            mode = MODE_BY_VALUE[proc.stream[proc.pos].mode]
+        self.metrics.add_time(mode, sync=target - proc.time)
         proc.time = target
 
     def check_invariants(self) -> None:

@@ -62,7 +62,13 @@ class TraceRecord:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, TraceRecord):
             return NotImplemented
-        return all(getattr(self, f) == getattr(other, f) for f in self.__slots__)
+        # Tuple comparison, built on demand: records are mutated after
+        # construction (the privatization pass rewrites addr/dclass on
+        # copies), so a precomputed key would go stale.
+        return ((self.op, self.addr, self.mode, self.dclass, self.pc,
+                 self.icount, self.blockop, self.size, self.arg)
+                == (other.op, other.addr, other.mode, other.dclass, other.pc,
+                    other.icount, other.blockop, other.size, other.arg))
 
     def copy(self) -> "TraceRecord":
         """Return a field-for-field copy."""

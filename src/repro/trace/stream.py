@@ -10,10 +10,11 @@ operation exactly the way kernel ``bcopy``/``bzero`` loops touch memory.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.common.errors import TraceError
-from repro.common.types import BlockOpKind, DataClass, Mode, Op
+from repro.common.types import (BlockOpKind, DataClass, MODE_BY_VALUE, Mode,
+                                OP_BY_VALUE, Op)
 from repro.trace.annotations import SymbolMap
 from repro.trace.blockop import BlockOpDescriptor, BlockOpRegistry
 from repro.trace import record as rec
@@ -36,32 +37,69 @@ class Trace:
         self.blockops = blockops if blockops is not None else BlockOpRegistry()
         self.symbols = symbols if symbols is not None else SymbolMap()
         self.metadata: Dict[str, object] = dict(metadata or {})
+        # Lazy caches, validated against the per-stream lengths at the time
+        # they were built (streams are append-only through the builder, but
+        # nothing stops a caller from extending them later).
+        self._histogram: Optional[Counter] = None
+        self._histogram_shape: Optional[Tuple[int, ...]] = None
+        self._sealed: Optional[Tuple[Tuple[TraceRecord, ...], ...]] = None
+        self._sealed_shape: Optional[Tuple[int, ...]] = None
 
     def __len__(self) -> int:
         """Total record count across all CPUs."""
         return sum(len(s) for s in self.streams)
+
+    def _shape(self) -> Tuple[int, ...]:
+        return tuple(len(s) for s in self.streams)
 
     def records(self) -> Iterable[TraceRecord]:
         """Iterate over all records, CPU by CPU."""
         for stream in self.streams:
             yield from stream
 
+    def sealed_streams(self) -> Tuple[Tuple[TraceRecord, ...], ...]:
+        """Per-CPU streams as tuples, cached until the trace grows.
+
+        The simulator indexes the stream once per record; tuples make that
+        indexing cheaper than lists, and caching means the N systems of a
+        scheme sweep share one sealed copy instead of re-tupling per run.
+        """
+        shape = self._shape()
+        if self._sealed is None or self._sealed_shape != shape:
+            self._sealed = tuple(tuple(s) for s in self.streams)
+            self._sealed_shape = shape
+        return self._sealed
+
+    def _op_mode_histogram(self) -> Counter:
+        """Counter of ``(Op, Mode)`` pairs over all records, cached.
+
+        One pass serves both :meth:`count_ops` and
+        :meth:`data_reference_count`, which previously each re-walked the
+        whole trace (and the former paid an enum constructor per record).
+        """
+        shape = self._shape()
+        if self._histogram is None or self._histogram_shape != shape:
+            counts: Counter = Counter()
+            for stream in self.streams:
+                counts.update((r.op, r.mode) for r in stream)
+            # Normalize the int keys to enum members once, at the end.
+            self._histogram = Counter({
+                (OP_BY_VALUE[op], MODE_BY_VALUE[mode]): n
+                for (op, mode), n in counts.items()})
+            self._histogram_shape = shape
+        return self._histogram
+
     def count_ops(self) -> Counter:
         """Histogram of record types across all CPUs."""
         counts: Counter = Counter()
-        for stream in self.streams:
-            for r in stream:
-                counts[Op(r.op)] += 1
+        for (op, _mode), n in self._op_mode_histogram().items():
+            counts[op] += n
         return counts
 
     def data_reference_count(self, mode: Optional[Mode] = None) -> int:
         """Number of READ/WRITE records, optionally restricted to *mode*."""
-        total = 0
-        for stream in self.streams:
-            for r in stream:
-                if r.op in (Op.READ, Op.WRITE) and (mode is None or r.mode == mode):
-                    total += 1
-        return total
+        return sum(n for (op, m), n in self._op_mode_histogram().items()
+                   if op in (Op.READ, Op.WRITE) and (mode is None or m == mode))
 
     def validate(self) -> None:
         """Check structural invariants; raises :class:`TraceError`.

@@ -1,0 +1,170 @@
+"""Equivalence tests for the simulator-core fast paths.
+
+The optimized scheduler (:meth:`MultiprocessorSystem.run`, min-heap) and
+the inlined L1-hit short circuits in :meth:`Processor.step` must be pure
+speedups: on any trace, the metrics snapshot has to be *bit-identical* to
+the reference scan scheduler (:meth:`run_scan`) and to the full
+:class:`CpuMemorySystem` call chain.  These tests throw randomized traces
+— locks, barriers, block copies/zeros, both modes, all five pure schemes —
+at both implementations and compare the complete snapshots.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.common.params import BASE_MACHINE
+from repro.common.types import DataClass, Mode
+from repro.memsys.bus import Bus
+from repro.memsys.coherence import CoherenceController
+from repro.memsys.hierarchy import CpuMemorySystem
+from repro.sim.config import standard_configs
+from repro.sim.metrics import MissTracker
+from repro.sim.system import MultiprocessorSystem
+from repro.trace import record
+from repro.trace.stream import TraceBuilder
+
+PURE_SCHEMES = ["Base", "Blk_Pref", "Blk_Bypass", "Blk_ByPref", "Blk_Dma"]
+
+SHARED_BASE = 0x50000
+LOCK_ADDRS = (0x9000, 0x9040)
+BARRIER_ADDR = 0xA000
+
+
+def random_trace(seed: int, num_cpus: int):
+    """A small adversarial trace: mixed references, sync, and block ops."""
+    rng = random.Random(seed)
+    builder = TraceBuilder(num_cpus)
+    blk_area = 0x200000
+    for cpu in range(num_cpus):
+        private = 0x100000 + cpu * 0x10000
+        for _ in range(rng.randint(40, 80)):
+            roll = rng.random()
+            pool = SHARED_BASE if rng.random() < 0.4 else private
+            addr = pool + 4 * rng.randrange(64)
+            mode = Mode.OS if rng.random() < 0.5 else Mode.USER
+            pc = 0x1000 + 16 * rng.randrange(8)
+            icount = rng.randint(1, 6)
+            if roll < 0.45:
+                builder.emit(cpu, record.read(addr, mode=mode, pc=pc,
+                                              icount=icount,
+                                              dclass=DataClass.BUFFER))
+            elif roll < 0.75:
+                builder.emit(cpu, record.write(addr, mode=mode, pc=pc,
+                                               icount=icount,
+                                               dclass=DataClass.BUFFER))
+            elif roll < 0.88:
+                lock = rng.choice(LOCK_ADDRS)
+                builder.emit(cpu, record.lock_acquire(lock, mode=mode))
+                builder.emit(cpu, record.read(SHARED_BASE + 4 * rng.randrange(16),
+                                              mode=mode, pc=pc))
+                builder.emit(cpu, record.lock_release(lock, mode=mode))
+            elif roll < 0.95:
+                src = blk_area
+                dst = blk_area + 0x8000 + cpu * 0x2000
+                builder.emit_block_copy(cpu, src, dst,
+                                        size=64 * rng.randint(1, 3),
+                                        mode=mode, pc=pc)
+            else:
+                builder.emit_block_zero(cpu, blk_area + 0x10000 + cpu * 0x2000,
+                                        size=64 * rng.randint(1, 3),
+                                        mode=mode, pc=pc)
+        builder.emit(cpu, record.barrier(BARRIER_ADDR, num_cpus))
+    return builder.build()
+
+
+def contended_trace(num_cpus: int):
+    """Every CPU hammers one lock back-to-back: exercises the spin path."""
+    builder = TraceBuilder(num_cpus)
+    lock = LOCK_ADDRS[0]
+    for cpu in range(num_cpus):
+        for i in range(20):
+            builder.emit(cpu, record.lock_acquire(lock))
+            builder.emit(cpu, record.write(SHARED_BASE + 4 * (i % 8),
+                                           dclass=DataClass.BUFFER))
+            builder.emit(cpu, record.lock_release(lock))
+        builder.emit(cpu, record.barrier(BARRIER_ADDR, num_cpus))
+    return builder.build()
+
+
+def snapshots(trace, config):
+    """Run heap and scan schedulers on fresh identical systems."""
+    heap = MultiprocessorSystem(trace, config).run().snapshot()
+    scan = MultiprocessorSystem(trace, config).run_scan().snapshot()
+    return heap, scan
+
+
+class TestHeapSchedulerEquivalence:
+    @pytest.mark.parametrize("scheme", PURE_SCHEMES)
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_random_traces_bit_identical(self, seed, scheme):
+        config = standard_configs()[scheme]
+        trace = random_trace(seed, num_cpus=2 + seed % 3)
+        heap, scan = snapshots(trace, config)
+        assert heap == scan
+
+    @pytest.mark.parametrize("scheme", PURE_SCHEMES)
+    def test_lock_contention_bit_identical(self, scheme):
+        config = standard_configs()[scheme]
+        heap, scan = snapshots(contended_trace(4), config)
+        assert heap == scan
+
+    def test_single_cpu_trace(self):
+        config = standard_configs()["Base"]
+        heap, scan = snapshots(random_trace(7, num_cpus=1), config)
+        assert heap == scan
+
+
+class _AlwaysPending:
+    """Stands in for ``pending.ready``: claims every line has a fill."""
+
+    def __contains__(self, line):
+        return True
+
+
+class TestL1FastPathEquivalence:
+    @pytest.mark.parametrize("seed", [11, 12])
+    def test_forced_slow_path_matches(self, seed):
+        """Disabling the inline L1-hit path must not change any metric.
+
+        The read fast path is guarded by ``line not in _pending_ready``;
+        substituting an always-contains object forces every read down the
+        full :meth:`CpuMemorySystem.read` chain, so hit accounting of the
+        two paths is compared across a whole randomized run.
+        """
+        config = standard_configs()["Base"]
+        trace = random_trace(seed, num_cpus=3)
+        fast = MultiprocessorSystem(trace, config).run().snapshot()
+        slow_sys = MultiprocessorSystem(trace, config)
+        for proc in slow_sys.processors:
+            proc._pending_ready = _AlwaysPending()
+        slow = slow_sys.run().snapshot()
+        assert fast == slow
+
+    def test_write_cycles_matches_write(self):
+        """``write_cycles`` must mirror ``write`` result-for-result."""
+        machine = BASE_MACHINE
+
+        def rig():
+            bus = Bus(machine.bus)
+            controller = CoherenceController(machine, bus)
+            return [CpuMemorySystem(machine, bus, controller, MissTracker())
+                    for _ in range(2)]
+
+        full, lean = rig(), rig()
+        rng = random.Random(42)
+        t = 0
+        for _ in range(300):
+            cpu = rng.randrange(2)
+            addr = SHARED_BASE + 4 * rng.randrange(32)
+            res = full[cpu].write(addr, t)
+            done, stall = lean[cpu].write_cycles(addr, t)
+            assert (done, stall) == (res.done, res.stall)
+            t += rng.randrange(4)
+        for f, l in zip(full, lean):
+            assert f.l1d.tags == l.l1d.tags
+            assert f.l2.tags == l.l2.tags
+            assert f.l2.states == l.l2.states
+            assert f.wb1.stall_cycles == l.wb1.stall_cycles

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Profile one simulator cell under cProfile.
+
+Runs a single (workload, config, scale) simulation and prints the top
+functions by cumulative or total time — the quickest way to see where the
+per-record hot path spends its cycles after a change.
+
+Examples::
+
+    PYTHONPATH=src python tools/profile_sim.py
+    PYTHONPATH=src python tools/profile_sim.py --workload ARC2D+Fsck \\
+        --config Blk_Pref --scale 0.5 --sort tottime --limit 25
+    PYTHONPATH=src python tools/profile_sim.py --scan   # reference scheduler
+
+See docs/performance.md for how to read the output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workload", default="Shell",
+                        help="workload name (default: Shell)")
+    parser.add_argument("--config", default="Base",
+                        help="config name from standard_configs (default: Base)")
+    parser.add_argument("--scale", type=float, default=0.5,
+                        help="trace scale factor (default: 0.5)")
+    parser.add_argument("--seed", type=int, default=1996)
+    parser.add_argument("--sort", default="cumulative",
+                        choices=["cumulative", "tottime", "ncalls"],
+                        help="pstats sort key (default: cumulative)")
+    parser.add_argument("--limit", type=int, default=20,
+                        help="rows to print (default: 20)")
+    parser.add_argument("--scan", action="store_true",
+                        help="profile the reference scan scheduler "
+                             "(run_scan) instead of the heap scheduler")
+    args = parser.parse_args(argv)
+
+    from repro.sim.config import standard_configs
+    from repro.sim.system import MultiprocessorSystem
+    from repro.synthetic.workloads import generate
+
+    configs = standard_configs()
+    if args.config not in configs:
+        parser.error(f"unknown config {args.config!r}; "
+                     f"choose from {sorted(configs)}")
+    trace = generate(args.workload, seed=args.seed, scale=args.scale)
+    system = MultiprocessorSystem(trace, configs[args.config])
+    runner = system.run_scan if args.scan else system.run
+
+    print(f"profiling {args.workload}/{args.config} scale={args.scale} "
+          f"({len(trace)} records, "
+          f"{'scan' if args.scan else 'heap'} scheduler)", file=sys.stderr)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    runner()
+    profiler.disable()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.limit)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
