@@ -7,6 +7,7 @@ Subcommands::
     repro simulate  <workload|trace file> [--config Base] [--scale S]
     repro report    [--scale S] [--only table1,figure3] [--ascii] [-o FILE]
                     [--workers N] [--cache-dir DIR] [--no-cache]
+                    [--ledger PATH] [--max-retries N] [--job-timeout S]
     repro ablation  <study> [--workload W] [--scale S] [--cache-dir DIR]
     repro calibrate [--scale S] [--only table2]
 
@@ -92,7 +93,9 @@ def cmd_report(args: argparse.Namespace) -> int:
     cache_dir = None if args.no_cache else args.cache_dir
     report = run_all(scale=args.scale, seed=args.seed, only=only,
                      verbose=not args.quiet, workers=args.workers,
-                     cache_dir=cache_dir)
+                     cache_dir=cache_dir, ledger=args.ledger or None,
+                     max_retries=args.max_retries,
+                     job_timeout=args.job_timeout)
     if args.ascii:
         from repro.analysis.ascii_charts import ascii_render
         from repro.analysis.figures import ALL_FIGURES
@@ -174,6 +177,15 @@ def build_parser() -> argparse.ArgumentParser:
                         f"(default {DEFAULT_CACHE_DIR!r})")
     p.add_argument("--no-cache", action="store_true",
                    help="do not persist traces/artifacts on disk")
+    p.add_argument("--ledger", default="",
+                   help="JSONL run-ledger path (default: a fresh file "
+                        "inside the cache directory)")
+    p.add_argument("--max-retries", type=int, default=None,
+                   help="re-submissions allowed per failed sweep job "
+                        "(default 2)")
+    p.add_argument("--job-timeout", type=float, default=None,
+                   help="per-job wall-clock timeout in seconds "
+                        "(default: unlimited)")
     p.set_defaults(fn=cmd_report)
 
     p = sub.add_parser("ablation", help="run a design-choice study")

@@ -43,3 +43,35 @@ class DeadlockError(SimulationError):
 
 class AnalysisError(ReproError):
     """An analysis pass received data it cannot interpret."""
+
+
+class JobFailedError(ReproError):
+    """A sweep job exhausted its retry budget (or failed unrecoverably).
+
+    Raised by the parallel experiment engine when a job keeps failing
+    after every retry the :class:`~repro.experiments.faults.RetryPolicy`
+    allows.  ``job_id`` names the failed DAG node and ``attempts`` the
+    number of attempts consumed.
+    """
+
+    def __init__(self, message: str, job_id: str = "",
+                 attempts: int = 0) -> None:
+        super().__init__(message)
+        self.job_id = job_id
+        self.attempts = attempts
+
+
+class JobTimeoutError(JobFailedError):
+    """A sweep job exceeded its per-job wall-clock timeout."""
+
+
+class ArtifactCorruptError(ReproError):
+    """A cache artifact failed hash verification.
+
+    The offending file is quarantined (renamed to ``*.quarantined``) and
+    the artifact regenerated; ``path`` points at the quarantined copy.
+    """
+
+    def __init__(self, message: str, path: str = "") -> None:
+        super().__init__(message)
+        self.path = path

@@ -5,6 +5,7 @@ Usage::
     python -m repro.experiments.all [--scale 0.5] [--seed 1996]
         [--only table1,figure3] [--out results.txt]
         [--workers N] [--cache-dir DIR] [--no-cache]
+        [--ledger PATH] [--max-retries N] [--job-timeout SECONDS]
 
 One :class:`~repro.experiments.runner.ExperimentRunner` is shared across
 all artifacts so each trace, transform and simulation runs once.  With
@@ -17,6 +18,14 @@ derived artifacts across runs — a repeat sweep skips every generation
 and derivation stage.  The rendered output prints the same rows/series
 the paper reports and is identical for any worker count and cache
 temperature.
+
+Parallel sweeps are fault tolerant: failed or timed-out jobs are
+retried with deterministic backoff (``--max-retries``,
+``--job-timeout``), dead workers get a rebuilt pool, and corrupt cache
+artifacts are quarantined and regenerated.  Every lifecycle event lands
+in a JSONL run ledger (``--ledger``, default: inside the cache
+directory) whose path is printed at sweep end; summarize it with
+``python -m repro.experiments.ledger --summarize <path>``.
 """
 
 from __future__ import annotations
@@ -34,6 +43,7 @@ from repro.analysis.tables import ALL_TABLES
 from repro.common.params import BASE_MACHINE
 from repro.common.units import KB
 from repro.experiments.artifacts import DEFAULT_CACHE_DIR, ArtifactCache
+from repro.experiments.faults import RetryPolicy
 from repro.experiments.runner import Cell, ExperimentRunner
 from repro.synthetic.workloads import WORKLOAD_ORDER
 
@@ -89,16 +99,30 @@ def artifact_cells(name: str) -> List[Cell]:
 def run_all(scale: float = 0.5, seed: int = 1996,
             only: Optional[List[str]] = None, verbose: bool = True,
             workers: Optional[int] = 1,
-            cache_dir: Optional[str] = None) -> str:
+            cache_dir: Optional[str] = None,
+            ledger: Optional[str] = None,
+            max_retries: Optional[int] = None,
+            job_timeout: Optional[float] = None) -> str:
     """Build the selected artifacts; returns the rendered report.
 
     *workers* > 1 routes the sweep through the parallel engine (``None``
     means ``os.cpu_count()``); *cache_dir* attaches a persistent on-disk
-    artifact cache.  Neither changes the report's contents.
+    artifact cache.  *ledger*, *max_retries* and *job_timeout* tune the
+    engine's fault tolerance.  None of these change the report's
+    contents — a sweep that survived retries, pool rebuilds, or
+    artifact quarantine renders bit-identically to a clean serial run.
     """
     cache = ArtifactCache(cache_dir) if cache_dir else None
+    policy = None
+    if max_retries is not None or job_timeout is not None:
+        defaults = RetryPolicy()
+        policy = RetryPolicy(
+            max_retries=(max_retries if max_retries is not None
+                         else defaults.max_retries),
+            job_timeout=job_timeout)
     runner = ExperimentRunner(scale=scale, seed=seed, cache=cache,
-                              workers=workers)
+                              workers=workers, retry_policy=policy,
+                              ledger_path=ledger)
     wanted = only if only else ARTIFACT_ORDER
     unknown = [n for n in wanted
                if n not in ALL_TABLES and n not in ALL_FIGURES]
@@ -129,6 +153,10 @@ def run_all(scale: float = 0.5, seed: int = 1996,
         chunks.append("")
     if verbose and runner.cache is not None:
         print(f"[artifact cache: {runner.cache.summary()}]", file=sys.stderr)
+    if verbose and runner.last_ledger_path:
+        print(f"[run ledger: {runner.last_ledger_path} — summarize with "
+              f"'python -m repro.experiments.ledger --summarize "
+              f"{runner.last_ledger_path}']", file=sys.stderr)
     return "\n".join(chunks)
 
 
@@ -150,11 +178,23 @@ def main(argv: Optional[List[str]] = None) -> int:
                              f"(default {DEFAULT_CACHE_DIR!r})")
     parser.add_argument("--no-cache", action="store_true",
                         help="do not persist traces/artifacts on disk")
+    parser.add_argument("--ledger", type=str, default="",
+                        help="JSONL run-ledger path (default: a fresh "
+                             "file inside the cache directory)")
+    parser.add_argument("--max-retries", type=int, default=None,
+                        help="re-submissions allowed per failed job "
+                             "(default 2)")
+    parser.add_argument("--job-timeout", type=float, default=None,
+                        help="per-job wall-clock timeout in seconds "
+                             "(default: unlimited)")
     args = parser.parse_args(argv)
     only = [n.strip() for n in args.only.split(",") if n.strip()] or None
     cache_dir = None if args.no_cache else args.cache_dir
     report = run_all(scale=args.scale, seed=args.seed, only=only,
-                     workers=args.workers, cache_dir=cache_dir)
+                     workers=args.workers, cache_dir=cache_dir,
+                     ledger=args.ledger or None,
+                     max_retries=args.max_retries,
+                     job_timeout=args.job_timeout)
     print(report)
     if args.out:
         with open(args.out, "w") as fp:

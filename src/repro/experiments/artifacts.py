@@ -21,9 +21,14 @@ Design:
 * **NPZ payloads for traces** via :mod:`repro.trace.npzio`; small
   artifacts (update selections, hot-spot lists) are stored as JSON.
 * **Corruption safety.**  Writes go to a temporary file in the same
-  directory followed by an atomic :func:`os.replace`; loads treat *any*
-  failure (truncated archive, bad JSON, version mismatch) as a cache
-  miss, delete the offending file, and let the caller recompute.
+  directory followed by an atomic :func:`os.replace`, and every payload
+  gets a SHA-256 sidecar (``<entry>.sha256``) computed at store time.
+  Loads verify the sidecar first; an entry whose bytes no longer match
+  (bit rot, torn write, manual tampering) is **quarantined** — renamed
+  to ``<entry>.quarantined`` so the evidence survives for post-mortems —
+  counted as a miss, and recomputed by the caller.  Parse failures on
+  legacy entries without a sidecar are quarantined the same way, so a
+  bad artifact can never crash a sweep or be silently re-read.
 
 :class:`SimKey` is the typed key shared by the in-memory metrics cache
 of :class:`repro.experiments.runner.ExperimentRunner` and the parallel
@@ -40,6 +45,7 @@ import tempfile
 from collections import Counter
 from typing import Any, Dict, List, Optional
 
+from repro.common.errors import ArtifactCorruptError
 from repro.common.params import MachineParams
 from repro.optim.update_select import UpdateSelection
 from repro.trace import npzio
@@ -125,6 +131,14 @@ class ArtifactCache:
     def _path(self, key: str, kind: str) -> str:
         return os.path.join(self.dir, key[:2], f"{key}.{kind}")
 
+    @staticmethod
+    def _digest(path: str) -> str:
+        sha = hashlib.sha256()
+        with open(path, "rb") as fp:
+            for chunk in iter(lambda: fp.read(1 << 20), b""):
+                sha.update(chunk)
+        return sha.hexdigest()
+
     def _atomic_write(self, path: str, writer) -> None:
         os.makedirs(os.path.dirname(path), exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
@@ -132,11 +146,57 @@ class ArtifactCache:
         os.close(fd)
         try:
             writer(tmp)
+            digest = self._digest(tmp)
             os.replace(tmp, path)
         except BaseException:
             if os.path.exists(tmp):
                 os.unlink(tmp)
             raise
+        # Sidecar written second: an entry without one is treated as a
+        # legacy (parse-validated) entry, never as corrupt.
+        self._atomic_sidecar(path, digest)
+
+    def _atomic_sidecar(self, path: str, digest: str) -> None:
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   prefix=".tmp-", suffix=".sha256")
+        with os.fdopen(fd, "w") as fp:
+            fp.write(digest)
+        os.replace(tmp, path + ".sha256")
+
+    def _verify(self, path: str) -> None:
+        """Check *path* against its hash sidecar, if one exists.
+
+        Raises :class:`ArtifactCorruptError` on mismatch.  Entries from
+        caches written before sidecars existed pass (the subsequent
+        parse is their only validation, as it always was).
+        """
+        sidecar = path + ".sha256"
+        try:
+            with open(sidecar) as fp:
+                expected = fp.read().strip()
+        except OSError:
+            return
+        if self._digest(path) != expected:
+            raise ArtifactCorruptError(
+                f"artifact failed hash verification: {path}", path=path)
+
+    def _quarantine(self, path: str) -> None:
+        """Move a corrupt entry (and its sidecar) out of the key space.
+
+        The renamed ``*.quarantined`` copy keeps the evidence for
+        debugging; the original path becomes a plain miss so the caller
+        regenerates it.  Falls back to deletion if the rename fails.
+        """
+        for victim in (path, path + ".sha256"):
+            if not os.path.exists(victim):
+                continue
+            try:
+                os.replace(victim, victim + ".quarantined")
+            except OSError:
+                try:
+                    os.unlink(victim)
+                except OSError:
+                    pass
 
     def _drop(self, path: str) -> None:
         try:
@@ -154,12 +214,15 @@ class ArtifactCache:
             self.stats[f"{stage}.miss"] += 1
             return None
         try:
+            self._verify(path)
             trace = npzio.load(path)
         except Exception:
-            # Truncated download, crashed writer, version skew: recompute.
-            self._drop(path)
+            # Bit rot, truncated write, version skew: quarantine the
+            # evidence and let the caller recompute.
+            self._quarantine(path)
             self.stats[f"{stage}.miss"] += 1
             self.stats[f"{stage}.corrupt"] += 1
+            self.stats[f"{stage}.quarantine"] += 1
             return None
         self.stats[f"{stage}.hit"] += 1
         return trace
@@ -180,15 +243,17 @@ class ArtifactCache:
             self.stats[f"{stage}.miss"] += 1
             return None
         try:
+            self._verify(path)
             with open(path) as fp:
                 envelope = json.load(fp)
             if envelope.get("version") != CACHE_VERSION:
                 raise ValueError("cache version mismatch")
             payload = envelope["payload"]
         except Exception:
-            self._drop(path)
+            self._quarantine(path)
             self.stats[f"{stage}.miss"] += 1
             self.stats[f"{stage}.corrupt"] += 1
+            self.stats[f"{stage}.quarantine"] += 1
             return None
         self.stats[f"{stage}.hit"] += 1
         return payload
@@ -253,6 +318,13 @@ class ArtifactCache:
     def stores(self) -> int:
         return sum(n for e, n in self.stats.items() if e.endswith(".store"))
 
+    def quarantines(self) -> int:
+        return sum(n for e, n in self.stats.items()
+                   if e.endswith(".quarantine"))
+
     def summary(self) -> str:
-        return (f"{self.hits()} hits, {self.misses()} misses, "
+        text = (f"{self.hits()} hits, {self.misses()} misses, "
                 f"{self.stores()} stores")
+        if self.quarantines():
+            text += f", {self.quarantines()} quarantined"
+        return text

@@ -1,0 +1,189 @@
+"""Fault tolerance for sweep execution: retry policy, timeouts, injection.
+
+A multi-hour sweep must survive the failure modes long unattended runs
+actually hit: a worker process dying mid-job (OOM killer, segfaulting
+native extension), a simulation hanging past any reasonable bound, and
+on-disk cache artifacts rotting between runs.  This module holds the
+pieces the parallel engine composes:
+
+* :class:`RetryPolicy` — bounded retries with exponential backoff whose
+  jitter is a pure function of ``(seed, job_id, attempt)``, so two runs
+  of the same sweep back off identically and test logs are reproducible.
+* :func:`soft_timeout` — a worker-side wall-clock limit implemented with
+  ``SIGALRM``/``setitimer``; a job that overruns raises
+  :class:`~repro.common.errors.JobTimeoutError` inside the worker, which
+  travels back to the scheduler as an ordinary failed future instead of
+  wedging the pool.
+* **Fault injection** (:func:`arm_fault` / :func:`consume_fault`) — a
+  directory of one-shot marker files that workers consume atomically via
+  ``os.unlink``, so a test can arm "SIGKILL the worker running job X,
+  exactly once" and the retried attempt runs clean.  Production sweeps
+  simply pass no fault directory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import signal
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.common.errors import JobTimeoutError
+
+#: Injectable fault actions.
+FAULT_KILL = "kill"    # SIGKILL the worker process (worker death)
+FAULT_HANG = "hang"    # sleep far past any job timeout
+FAULT_RAISE = "raise"  # raise a RuntimeError from the job body
+
+_FAULT_SUFFIX = ".fault"
+
+#: How long an injected hang sleeps; long enough that any sane job
+#: timeout fires first, short enough that a misconfigured test without
+#: one eventually finishes.
+HANG_SECONDS = 120.0
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded, deterministic retry behaviour for one sweep.
+
+    ``delay`` grows exponentially with the attempt number, capped at
+    ``backoff_cap``, and is jittered by a hash of
+    ``(seed, job_id, attempt)`` — deterministic given the run seed, but
+    decorrelated across jobs so a burst of failures does not resubmit in
+    lockstep.
+    """
+
+    #: Re-submissions allowed per job after its first failure.
+    max_retries: int = 2
+    #: First-retry backoff in seconds.
+    backoff_base: float = 0.25
+    #: Multiplier per further attempt.
+    backoff_factor: float = 2.0
+    #: Upper bound on any single backoff sleep, seconds.
+    backoff_cap: float = 8.0
+    #: Worker-side wall-clock limit per job, seconds (None = unlimited).
+    job_timeout: Optional[float] = None
+    #: Pool reconstructions allowed after worker death before the engine
+    #: degrades to serial in-process execution.
+    max_pool_rebuilds: int = 2
+
+    def delay(self, seed: int, job_id: str, attempt: int) -> float:
+        """Backoff before retry *attempt* (1-based) of *job_id*."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        base = min(self.backoff_cap,
+                   self.backoff_base * self.backoff_factor ** (attempt - 1))
+        digest = hashlib.sha256(
+            f"{seed}:{job_id}:{attempt}".encode()).digest()
+        jitter = digest[0] / 255.0  # deterministic in [0, 1]
+        return base * (0.5 + 0.5 * jitter)
+
+    def exhausted(self, attempts: int) -> bool:
+        """True once *attempts* failures leave no retry budget."""
+        return attempts > self.max_retries
+
+
+# ----------------------------------------------------------------------
+# Worker-side wall-clock timeout
+# ----------------------------------------------------------------------
+@contextmanager
+def soft_timeout(seconds: Optional[float],
+                 label: str = "job") -> Iterator[None]:
+    """Raise :class:`JobTimeoutError` if the body runs past *seconds*.
+
+    Uses ``SIGALRM``, so it only arms in a process's main thread on
+    platforms that have it; elsewhere it is a no-op and the scheduler's
+    hard deadline is the only guard.
+    """
+    if not seconds or seconds <= 0 or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def _alarm(signum, frame):
+        raise JobTimeoutError(
+            f"{label} exceeded its {seconds:g}s wall-clock timeout",
+            job_id=label)
+
+    try:
+        previous = signal.signal(signal.SIGALRM, _alarm)
+    except ValueError:  # not in the main thread: cannot arm a timer
+        yield
+        return
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+# ----------------------------------------------------------------------
+# Fault injection (tests only; no fault_dir => no faults)
+# ----------------------------------------------------------------------
+def arm_fault(fault_dir: str, action: str, job_match: str,
+              count: int = 1) -> None:
+    """Arm *count* one-shot faults for jobs whose id starts with
+    *job_match*.
+
+    Each armed fault is one marker file; a worker that picks up a
+    matching job atomically consumes (unlinks) one marker and executes
+    the action, so every fault fires exactly once no matter how many
+    workers race for it.
+    """
+    if action not in (FAULT_KILL, FAULT_HANG, FAULT_RAISE):
+        raise ValueError(f"unknown fault action {action!r}")
+    os.makedirs(fault_dir, exist_ok=True)
+    encoded = job_match.replace(os.sep, "_")
+    for n in range(count):
+        path = os.path.join(fault_dir,
+                            f"{action}@{encoded}@{n}{_FAULT_SUFFIX}")
+        with open(path, "w") as fp:
+            fp.write(job_match)
+
+
+def consume_fault(fault_dir: Optional[str],
+                  job_id: str) -> Optional[str]:
+    """Atomically claim one armed fault matching *job_id*, if any.
+
+    Returns the fault action, or ``None``.  Losing an unlink race to
+    another worker simply means that worker owns the fault.
+    """
+    if not fault_dir or not os.path.isdir(fault_dir):
+        return None
+    for name in sorted(os.listdir(fault_dir)):
+        if not name.endswith(_FAULT_SUFFIX):
+            continue
+        action, _, _ = name.partition("@")
+        try:
+            with open(os.path.join(fault_dir, name)) as fp:
+                job_match = fp.read()
+        except OSError:
+            continue
+        if not job_id.startswith(job_match):
+            continue
+        try:
+            os.unlink(os.path.join(fault_dir, name))
+        except OSError:
+            continue  # another worker claimed it first
+        return action
+    return None
+
+
+def inject(action: str, *, in_worker: bool = True) -> None:
+    """Execute a claimed fault action inside the current process.
+
+    ``kill`` is only honoured when running in a disposable worker
+    process (``in_worker``); in the engine's own process (serial
+    fallback) it degrades to ``raise`` so a test cannot take down the
+    test runner.
+    """
+    if action == FAULT_KILL and in_worker:
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif action == FAULT_HANG:
+        time.sleep(HANG_SECONDS)
+    # kill-in-parent degrades to an ordinary failure:
+    raise RuntimeError(f"injected fault: {action}")

@@ -1,0 +1,177 @@
+"""Structured JSONL run ledger for sweep execution.
+
+Every job lifecycle event of a parallel sweep — scheduled, finished,
+retried, timed out, quarantined artifacts, worker-pool breakage — is
+appended as one JSON object per line to a ledger file.  A crash leaves
+behind a complete, append-only record of what ran, what failed, and
+what was recovered; a clean run leaves an auditable timing profile.
+
+Event schema (field presence varies by event)::
+
+    {"ts": <unix seconds>, "event": "<name>", "job": "<job id>",
+     "kind": "trace|derive|sim", "workload": ..., "config": ...,
+     "attempt": N, "duration": seconds, "worker_pid": pid,
+     "cache": {"hits": H, "misses": M, "stores": S, "quarantines": Q},
+     "sim_keys": [{"workload": ..., "config": ..., "machine": ...}],
+     ...}
+
+Event names: ``sweep_start``, ``scheduled``, ``finished``, ``retried``,
+``timed_out``, ``quarantined``, ``job_failed``, ``pool_broken``,
+``pool_rebuilt``, ``degraded_serial``, ``sweep_end``.
+
+``python -m repro.experiments.ledger --summarize <ledger.jsonl>``
+renders per-stage timing, retry counts, and fault totals.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from collections import Counter, defaultdict
+from typing import Any, Dict, List, Optional
+
+#: Canonical ledger filename prefix used when no path is given.
+DEFAULT_BASENAME = "sweep-ledger"
+
+
+class RunLedger:
+    """Append-only JSONL event log for one sweep.
+
+    Opened lazily on the first :meth:`record` so a ledger object can be
+    constructed unconditionally and never touch disk if nothing runs.
+    A ``path`` of ``None`` discards every event (null ledger).
+    """
+
+    def __init__(self, path: Optional[str]) -> None:
+        self.path = os.fspath(path) if path is not None else None
+        self._fp = None
+
+    @classmethod
+    def null(cls) -> "RunLedger":
+        return cls(None)
+
+    def record(self, event: str, **fields: Any) -> None:
+        """Append one event; never raises (a dying ledger must not kill
+        the sweep it documents)."""
+        if self.path is None:
+            return
+        entry = {"ts": round(time.time(), 3), "event": event}
+        entry.update(fields)
+        try:
+            if self._fp is None:
+                os.makedirs(os.path.dirname(self.path) or ".",
+                            exist_ok=True)
+                self._fp = open(self.path, "a")
+            json.dump(entry, self._fp, sort_keys=True)
+            self._fp.write("\n")
+            self._fp.flush()
+        except OSError:
+            pass
+
+    def close(self) -> None:
+        if self._fp is not None:
+            try:
+                self._fp.close()
+            finally:
+                self._fp = None
+
+    def __enter__(self) -> "RunLedger":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_events(path: str) -> List[Dict[str, Any]]:
+    """Parse a ledger file, skipping lines truncated by a crash."""
+    events = []
+    with open(path) as fp:
+        for line in fp:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except ValueError:
+                continue  # torn tail write from a crashed run
+    return events
+
+
+def summarize(path: str) -> str:
+    """Human-readable per-stage timing / retry / fault summary."""
+    events = read_events(path)
+    per_kind: Dict[str, Dict[str, float]] = defaultdict(
+        lambda: {"jobs": 0, "seconds": 0.0})
+    counts: Counter = Counter()
+    cache = Counter()
+    retried_jobs: Counter = Counter()
+    for ev in events:
+        name = ev.get("event", "?")
+        counts[name] += 1
+        if name == "finished":
+            kind = ev.get("kind", "?")
+            per_kind[kind]["jobs"] += 1
+            per_kind[kind]["seconds"] += float(ev.get("duration", 0.0))
+            for stat, n in (ev.get("cache") or {}).items():
+                cache[stat] += n
+        elif name in ("retried", "timed_out"):
+            retried_jobs[ev.get("job", "?")] += 1
+
+    lines = [f"run ledger: {path}",
+             f"events: {sum(counts.values())}"]
+    starts = [ev for ev in events if ev.get("event") == "sweep_start"]
+    ends = [ev for ev in events if ev.get("event") == "sweep_end"]
+    if starts and ends:
+        lines.append(f"sweep wall-clock: "
+                     f"{ends[-1]['ts'] - starts[0]['ts']:.1f}s")
+    lines.append("")
+    lines.append(f"{'stage':<10} {'jobs':>6} {'total s':>9} {'mean s':>8}")
+    for kind in sorted(per_kind):
+        row = per_kind[kind]
+        jobs = int(row["jobs"])
+        mean = row["seconds"] / jobs if jobs else 0.0
+        lines.append(f"{kind:<10} {jobs:>6} {row['seconds']:>9.1f} "
+                     f"{mean:>8.2f}")
+    lines.append("")
+    for name in ("retried", "timed_out", "quarantined", "job_failed",
+                 "pool_broken", "pool_rebuilt", "degraded_serial"):
+        lines.append(f"{name:<16} {counts.get(name, 0):>4}")
+    if retried_jobs:
+        lines.append("")
+        lines.append("jobs with retries:")
+        for job, n in retried_jobs.most_common():
+            lines.append(f"  {job}  x{n}")
+    if cache:
+        lines.append("")
+        lines.append("cache: " + ", ".join(
+            f"{n} {stat}" for stat, n in sorted(cache.items())))
+    return "\n".join(lines)
+
+
+def default_path(directory: str) -> str:
+    """A fresh ledger path inside *directory*, unique per process."""
+    stamp = time.strftime("%Y%m%d-%H%M%S")
+    return os.path.join(directory,
+                        f"{DEFAULT_BASENAME}-{stamp}-{os.getpid()}.jsonl")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Inspect a sweep run ledger (JSONL)")
+    parser.add_argument("ledger", help="path to a *.jsonl run ledger")
+    parser.add_argument("--summarize", action="store_true", default=True,
+                        help="render per-stage timing and retry counts "
+                             "(default)")
+    args = parser.parse_args(argv)
+    if not os.path.exists(args.ledger):
+        print(f"no such ledger: {args.ledger}", file=sys.stderr)
+        return 2
+    print(summarize(args.ledger))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -39,6 +39,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.common.params import BASE_MACHINE, MachineParams
 from repro.experiments.artifacts import ArtifactCache, SimKey, stage_key
+from repro.experiments.faults import RetryPolicy
 from repro.optim.hotspots import HotspotPrefetcher, find_hotspots
 from repro.optim.privatize import privatize_and_relocate
 from repro.optim.update_select import UpdateSelection, select_update_core
@@ -65,16 +66,30 @@ class ExperimentRunner:
         ``None`` means ``os.cpu_count()``.  A multi-worker runner with no
         cache gets a private temporary cache for the life of the runner,
         since workers exchange artifacts through the cache directory.
+    :param retry_policy: fault-tolerance policy for parallel sweeps
+        (retries, backoff, per-job timeout); ``None`` uses the default
+        :class:`~repro.experiments.faults.RetryPolicy`.
+    :param ledger_path: JSONL run-ledger destination for parallel
+        sweeps; ``None`` writes one inside the cache directory.  The
+        ledger of the most recent sweep is on :attr:`last_ledger_path`.
     """
 
     def __init__(self, scale: float = 0.5, seed: int = 1996,
                  machine: MachineParams = BASE_MACHINE,
                  cache: Optional[ArtifactCache] = None,
-                 workers: Optional[int] = 1) -> None:
+                 workers: Optional[int] = 1,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 ledger_path: Optional[str] = None,
+                 fault_dir: Optional[str] = None) -> None:
         self.scale = scale
         self.seed = seed
         self.machine = machine
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        self.retry_policy = retry_policy
+        self.ledger_path = ledger_path
+        self.fault_dir = fault_dir
+        #: Ledger written by the most recent parallel run_cells() sweep.
+        self.last_ledger_path: Optional[str] = None
         self._tmp_cache_dir: Optional[tempfile.TemporaryDirectory] = None
         if cache is None and self.workers > 1:
             self._tmp_cache_dir = tempfile.TemporaryDirectory(
@@ -247,8 +262,12 @@ class ExperimentRunner:
             from repro.experiments.parallel import ParallelEngine
             engine = ParallelEngine(scale=self.scale, seed=self.seed,
                                     machine=self.machine, cache=self.cache,
-                                    workers=self.workers)
+                                    workers=self.workers,
+                                    retry_policy=self.retry_policy,
+                                    ledger_path=self.ledger_path,
+                                    fault_dir=self.fault_dir)
             self._metrics.update(engine.execute(todo, verbose=verbose))
+            self.last_ledger_path = engine.ledger_path
         else:
             for (w, c, m) in todo:
                 self.run(w, c, machine=m)

@@ -4,12 +4,22 @@ The on-disk format is line-oriented so traces can be inspected, diffed and
 version-controlled.  It is intentionally simple: a header, one line per
 block-op descriptor and per symbol, then one line per record prefixed by the
 CPU id.  Field order matches :class:`repro.trace.record.TraceRecord`.
+
+Metadata values are JSON-encoded on the ``meta`` lines, so string values
+that merely *look* numeric (``"007"``, ``"1e3"``) and values containing
+spaces round-trip exactly; files written before the JSON encoding (bare
+values) still load via a best-effort int/float/str fallback.
+
+Malformed input never leaks a bare :class:`ValueError`: every parse
+failure is reported as a :class:`~repro.common.errors.TraceError`
+carrying the 1-based line number and line kind.
 """
 
 from __future__ import annotations
 
 import io
-from typing import TextIO, Union
+import json
+from typing import TextIO
 
 from repro.common.errors import TraceError
 from repro.common.types import BlockOpKind, DataClass, Mode, Op
@@ -24,7 +34,7 @@ def dump(trace: Trace, fp: TextIO) -> None:
     fp.write(f"{_MAGIC}\n")
     fp.write(f"cpus {trace.num_cpus}\n")
     for key in sorted(trace.metadata):
-        fp.write(f"meta {key} {trace.metadata[key]}\n")
+        fp.write(f"meta {key} {json.dumps(trace.metadata[key])}\n")
     for sym in trace.symbols:
         fp.write(f"sym {sym.name} {sym.base} {sym.size} {int(sym.dclass)}\n")
     for op in trace.blockops:
@@ -45,30 +55,47 @@ def dumps(trace: Trace) -> str:
 
 
 def load(fp: TextIO) -> Trace:
-    """Parse a trace previously written by :func:`dump`."""
+    """Parse a trace previously written by :func:`dump`.
+
+    Raises :class:`TraceError` — never a bare :class:`ValueError` — on
+    malformed input, citing the 1-based line number and line kind.
+    """
     header = fp.readline().rstrip("\n")
     if header != _MAGIC:
-        raise TraceError(f"bad trace header {header!r}")
-    cpus_line = fp.readline().split()
+        raise TraceError(f"line 1: bad trace header {header!r}")
+    cpus_raw = fp.readline()
+    cpus_line = cpus_raw.split()
     if len(cpus_line) != 2 or cpus_line[0] != "cpus":
-        raise TraceError("missing cpu count")
-    trace = Trace(int(cpus_line[1]))
-    for line in fp:
+        raise TraceError(f"line 2: missing cpu count "
+                         f"(got {cpus_raw.rstrip()!r})")
+    try:
+        trace = Trace(int(cpus_line[1]))
+    except ValueError as err:
+        raise TraceError(f"line 2: bad cpu count: {err}") from err
+    for lineno, line in enumerate(fp, start=3):
         fields = line.split()
         if not fields:
             continue
         kind = fields[0]
-        if kind == "meta":
-            trace.metadata[fields[1]] = _parse_meta(" ".join(fields[2:]))
-        elif kind == "sym":
-            trace.symbols.add(fields[1], int(fields[2]), int(fields[3]),
-                              DataClass(int(fields[4])))
-        elif kind == "blockop":
-            _load_blockop(trace, fields)
-        elif kind == "r":
-            _load_record(trace, fields)
-        else:
-            raise TraceError(f"unknown line kind {kind!r}")
+        try:
+            if kind == "meta":
+                _load_meta(trace, line)
+            elif kind == "sym":
+                trace.symbols.add(fields[1], int(fields[2]), int(fields[3]),
+                                  DataClass(int(fields[4])))
+            elif kind == "blockop":
+                _load_blockop(trace, fields)
+            elif kind == "r":
+                _load_record(trace, fields)
+            else:
+                raise TraceError(f"unknown line kind {kind!r}")
+        except TraceError as err:
+            raise TraceError(f"line {lineno}: {err}") from None
+        except (ValueError, IndexError) as err:
+            # "not enough values to unpack", "invalid literal for
+            # int()", out-of-range enum values, ...
+            raise TraceError(
+                f"line {lineno}: malformed {kind!r} line: {err}") from err
     return trace
 
 
@@ -77,7 +104,20 @@ def loads(text: str) -> Trace:
     return load(io.StringIO(text))
 
 
-def _parse_meta(value: str) -> Union[int, float, str]:
+def _load_meta(trace: Trace, line: str) -> None:
+    parts = line.rstrip("\n").split(" ", 2)
+    if len(parts) != 3:
+        raise TraceError("meta line needs a key and a value")
+    _, key, value = parts
+    trace.metadata[key] = _parse_meta(value)
+
+
+def _parse_meta(value: str) -> object:
+    try:
+        return json.loads(value)
+    except ValueError:
+        pass
+    # Legacy files (pre-JSON encoding) wrote bare values; best effort.
     for converter in (int, float):
         try:
             return converter(value)
@@ -98,8 +138,11 @@ def _load_blockop(trace: Trace, fields: list) -> None:
 
 
 def _load_record(trace: Trace, fields: list) -> None:
-    (cpu, op, addr, mode, dclass, pc, icount, blockop, size, arg) = (
-        int(f) for f in fields[1:11])
+    values = [int(f) for f in fields[1:11]]
+    if len(values) != 10:
+        raise TraceError(
+            f"record needs 10 fields, got {len(values)}")
+    (cpu, op, addr, mode, dclass, pc, icount, blockop, size, arg) = values
     if not 0 <= cpu < trace.num_cpus:
         raise TraceError(f"record for unknown cpu {cpu}")
     trace.streams[cpu].append(

@@ -169,6 +169,66 @@ def test_version_mismatch_is_a_miss(tmp_path):
     assert ArtifactCache(tmp_path).load_hotspots("v" * 64) is None
 
 
+def test_store_writes_hash_sidecar(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    cache.store_hotspots("s" * 64, [1, 2, 3])
+    (json_file,) = _cache_files(tmp_path, ".json")
+    assert os.path.exists(json_file + ".sha256")
+
+
+def test_bitflip_quarantines_instead_of_deleting(tmp_path):
+    """A tampered entry is renamed to *.quarantined (evidence kept),
+    counted, and treated as a miss."""
+    cache = ArtifactCache(tmp_path)
+    cache.store_hotspots("q" * 64, [10, 20])
+    (json_file,) = _cache_files(tmp_path, ".json")
+    with open(json_file, "r+b") as fp:
+        fp.seek(5)
+        byte = fp.read(1)
+        fp.seek(5)
+        fp.write(bytes([byte[0] ^ 0xFF]))
+    fresh = ArtifactCache(tmp_path)
+    assert fresh.load_hotspots("q" * 64) is None
+    assert fresh.stats["hotspots.quarantine"] == 1
+    assert fresh.quarantines() == 1
+    assert "quarantined" in fresh.summary()
+    assert not os.path.exists(json_file)
+    assert os.path.exists(json_file + ".quarantined")
+    # The slot is reusable: a re-store round-trips again.
+    fresh.store_hotspots("q" * 64, [10, 20])
+    assert fresh.load_hotspots("q" * 64) == [10, 20]
+
+
+def test_legacy_entry_without_sidecar_still_loads(tmp_path):
+    """Caches written before hash sidecars existed must stay readable."""
+    cache = ArtifactCache(tmp_path)
+    cache.store_hotspots("l" * 64, [7])
+    (json_file,) = _cache_files(tmp_path, ".json")
+    os.unlink(json_file + ".sha256")
+    fresh = ArtifactCache(tmp_path)
+    assert fresh.load_hotspots("l" * 64) == [7]
+    assert fresh.stats["hotspots.hit"] == 1
+
+
+def test_trace_bitflip_quarantines_and_recomputes(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    runner = ExperimentRunner(scale=SCALE, seed=SEED, cache=cache)
+    trace = runner.trace("Shell")
+    (npz_file,) = _cache_files(tmp_path, ".npz")
+    with open(npz_file, "r+b") as fp:  # payload bytes change, size kept
+        fp.seek(64)
+        byte = fp.read(1)
+        fp.seek(64)
+        fp.write(bytes([byte[0] ^ 0xFF]))
+    fresh = ArtifactCache(tmp_path)
+    recomputed = ExperimentRunner(scale=SCALE, seed=SEED, cache=fresh)
+    restored = recomputed.trace("Shell")
+    assert len(restored) == len(trace)
+    assert fresh.stats["trace.quarantine"] == 1
+    assert fresh.stats["trace.store"] == 1
+    assert os.path.exists(npz_file + ".quarantined")
+
+
 def test_cold_cache_counts_misses(tmp_path):
     cache = ArtifactCache(tmp_path)
     runner = ExperimentRunner(scale=SCALE, seed=SEED, cache=cache)

@@ -10,11 +10,35 @@ from repro.trace.record import TraceRecord
 from repro.trace.stream import Trace
 
 
+#: Space-free identifiers usable as metadata keys and symbol names.
+_names = st.from_regex(r"[A-Za-z_][A-Za-z0-9_]{0,11}", fullmatch=True)
+
+#: Metadata values across every JSON-representable shape the trace
+#: carries, deliberately including numeric-looking strings ("007",
+#: "1e3") and strings with internal runs of spaces.
+_meta_values = st.one_of(
+    st.integers(-2**40, 2**40),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.booleans(),
+    st.sampled_from(["007", "1e3", "0x10", ""]),
+    st.text(alphabet="abcXYZ 09_.", max_size=20),
+)
+
+
 @st.composite
 def random_traces(draw):
-    """Arbitrary (not necessarily semantically valid) record streams."""
+    """Arbitrary (not necessarily semantically valid) record streams,
+    with random metadata and symbol tables (possibly empty)."""
     num_cpus = draw(st.integers(1, 4))
     trace = Trace(num_cpus)
+    trace.metadata.update(draw(st.dictionaries(_names, _meta_values,
+                                               max_size=4)))
+    for i, name in enumerate(draw(st.lists(_names, unique=True,
+                                           max_size=3))):
+        # Disjoint 1 MB regions per symbol (overlaps are rejected).
+        trace.symbols.add(name, (i + 1) * 2**20 + draw(st.integers(0, 255)) * 4,
+                          draw(st.sampled_from([4, 64, 4096])),
+                          draw(st.sampled_from(list(DataClass))))
     for cpu in range(num_cpus):
         n = draw(st.integers(0, 40))
         for _ in range(n):
@@ -32,13 +56,25 @@ def random_traces(draw):
     return trace
 
 
-@given(random_traces())
-@settings(max_examples=40, deadline=None)
-def test_textio_roundtrip_property(trace):
-    restored = textio.loads(textio.dumps(trace))
+def _assert_faithful(trace, restored):
+    """Records, symbols, and metadata reproduced exactly — values AND
+    types (the int 7 is not the string "007")."""
     assert restored.num_cpus == trace.num_cpus
     for a, b in zip(trace.streams, restored.streams):
         assert a == b
+    assert restored.metadata == trace.metadata
+    for key, value in trace.metadata.items():
+        assert type(restored.metadata[key]) is type(value), key
+    assert restored.symbols.names() == trace.symbols.names()
+    for a, b in zip(trace.symbols, restored.symbols):
+        assert (a.name, a.base, a.size, a.dclass) == \
+            (b.name, b.base, b.size, b.dclass)
+
+
+@given(random_traces())
+@settings(max_examples=40, deadline=None)
+def test_textio_roundtrip_property(trace):
+    _assert_faithful(trace, textio.loads(textio.dumps(trace)))
 
 
 @given(random_traces())
@@ -51,11 +87,55 @@ def test_npzio_roundtrip_property(trace):
     os.close(fd)
     try:
         npzio.save(trace, path)
-        restored = npzio.load(path)
-        for a, b in zip(trace.streams, restored.streams):
-            assert a == b
+        _assert_faithful(trace, npzio.load(path))
     finally:
         os.unlink(path)
+
+
+def _blockop_trace():
+    from repro.trace.stream import TraceBuilder
+
+    b = TraceBuilder(2)
+    b.trace.metadata["tag"] = "007"
+    b.emit_block_copy(0, src=0x4000, dst=0x5000, size=32)
+    b.emit_block_zero(1, dst=0x6000, size=16)
+    return b.build()
+
+
+def test_textio_blockops_roundtrip_exactly():
+    trace = _blockop_trace()
+    restored = textio.loads(textio.dumps(trace))
+    _assert_faithful(trace, restored)
+    assert len(restored.blockops) == len(trace.blockops)
+    for op in trace.blockops:
+        got = restored.blockops.get(op.op_id)
+        assert (got.kind, got.src, got.dst, got.size, got.pc) == \
+            (op.kind, op.src, op.dst, op.size, op.pc)
+
+
+def test_npzio_blockops_roundtrip_exactly(tmp_path):
+    trace = _blockop_trace()
+    path = str(tmp_path / "t.npz")
+    npzio.save(trace, path)
+    restored = npzio.load(path)
+    _assert_faithful(trace, restored)
+    for op in trace.blockops:
+        got = restored.blockops.get(op.op_id)
+        assert (got.kind, got.src, got.dst, got.size, got.pc) == \
+            (op.kind, op.src, op.dst, op.size, op.pc)
+
+
+@given(st.text(alphabet="r symblockopmeta 0123456789.ab\n", max_size=120))
+@settings(max_examples=60, deadline=None)
+def test_textio_never_leaks_bare_value_error(body):
+    """Garbage after a valid header either parses or raises TraceError —
+    never ValueError/IndexError."""
+    from repro.common.errors import TraceError
+
+    try:
+        textio.loads("reprotrace v1\ncpus 2\n" + body)
+    except TraceError:
+        pass
 
 
 @given(random_traces())

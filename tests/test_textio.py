@@ -56,6 +56,32 @@ def test_metadata_types_restored():
     assert restored.metadata["workload"] == "test"
 
 
+def test_numeric_looking_string_metadata_roundtrips():
+    """'007' must stay a string — not collapse to the int 7."""
+    b = TraceBuilder(1)
+    b.trace.metadata["tag"] = "007"
+    b.trace.metadata["exp"] = "1e3"
+    restored = textio.loads(textio.dumps(b.build()))
+    assert restored.metadata["tag"] == "007"
+    assert isinstance(restored.metadata["tag"], str)
+    assert restored.metadata["exp"] == "1e3"
+    assert isinstance(restored.metadata["exp"], str)
+
+
+def test_metadata_values_with_spaces_roundtrip():
+    b = TraceBuilder(1)
+    b.trace.metadata["note"] = "two  spaced   words"
+    restored = textio.loads(textio.dumps(b.build()))
+    assert restored.metadata["note"] == "two  spaced   words"
+
+
+def test_legacy_bare_metadata_still_parses():
+    """Files written before JSON encoding carried bare values."""
+    text = "reprotrace v1\ncpus 1\nmeta seed 42\nmeta scale 0.5\nmeta w shell\n"
+    restored = textio.loads(text)
+    assert restored.metadata == {"seed": 42, "scale": 0.5, "w": "shell"}
+
+
 def test_bad_header_rejected():
     with pytest.raises(TraceError, match="header"):
         textio.loads("not a trace\ncpus 1\n")
@@ -75,6 +101,42 @@ def test_record_for_unknown_cpu_rejected():
     text = "reprotrace v1\ncpus 1\nr 5 0 0 1 0 0 1 0 4 0\n"
     with pytest.raises(TraceError, match="unknown cpu"):
         textio.loads(text)
+
+
+@pytest.mark.parametrize("bad,fragment", [
+    ("r 0 0", "line 3"),                      # truncated record line
+    ("r 0 zz 0 1 0 0 1 0 4 0", "line 3"),     # non-integer field
+    ("r 0 99 0 1 0 0 1 0 4 0", "line 3"),     # out-of-range enum value
+    ("sym vm 4096", "line 3"),                # truncated symbol line
+    ("blockop 1 9 0 0 0 0", "line 3"),        # bad block-op kind
+    ("meta key", "line 3"),                   # meta without a value
+])
+def test_malformed_lines_raise_trace_error_with_line_number(bad, fragment):
+    """Parse failures surface as TraceError (never bare ValueError)
+    carrying the 1-based line number."""
+    text = f"reprotrace v1\ncpus 1\n{bad}\n"
+    with pytest.raises(TraceError, match=fragment):
+        textio.loads(text)
+
+
+def test_malformed_line_number_counts_preceding_lines():
+    text = ("reprotrace v1\ncpus 1\nmeta a 1\nmeta b 2\n"
+            "r 0 zz 0 1 0 0 1 0 4 0\n")
+    with pytest.raises(TraceError, match="line 5"):
+        textio.loads(text)
+
+
+def test_bad_cpu_count_is_trace_error():
+    with pytest.raises(TraceError, match="line 2"):
+        textio.loads("reprotrace v1\ncpus zz\n")
+
+
+def test_no_bare_value_error_escapes():
+    for bad in ("r 0", "sym", "blockop 0", "meta x", "r 0 1 2"):
+        try:
+            textio.loads(f"reprotrace v1\ncpus 1\n{bad}\n")
+        except TraceError:
+            pass  # the only acceptable failure mode
 
 
 def test_dump_to_file(tmp_path):
