@@ -1,0 +1,468 @@
+"""Runtime conformance checker for the coherence protocol.
+
+:func:`attach_checker` arms a freshly built
+:class:`~repro.sim.system.MultiprocessorSystem` with a
+:class:`ConformanceChecker` that follows every access through the memory
+system and raises :class:`~repro.common.errors.ConformanceError` the
+moment the protocol diverges from the reference model:
+
+* **stale read** — a read observes a copy that is not the architecturally
+  latest value of the word (checked against the
+  :class:`~repro.check.oracle.ReferenceMemory`);
+* **SWMR / single dirty owner** — more than one EXCLUSIVE/MODIFIED holder
+  of a line, or an owned line with other copies outstanding;
+* **inclusion** — an L1 line whose L2 line is not resident;
+* **update-page legality** — a Firefly-update write must leave every
+  pre-existing remote sharer resident (update, not invalidate);
+* **write-buffer order** — FIFO entries must retire in non-decreasing
+  completion order;
+* **final diff** — after the run, every resident clean line must match
+  memory, every dirty line must hold the latest values, every
+  architecturally written value must still be reachable (no lost
+  write-backs), and no shadow copy may outlive its line's residency.
+
+Cost model: the checker is *never* consulted when disabled.  Hot-path
+methods of :class:`~repro.memsys.hierarchy.CpuMemorySystem` are wrapped
+per instance (plain attribute assignment — the class stays untouched),
+and the processor's inline L1-hit fast path is forced into the full call
+chain by replacing ``_pending_ready`` with an always-containing sentinel,
+a forcing that ``tests/test_fastpath_equivalence.py`` proves metric-exact.
+Cold bus-level paths in the controller carry explicit
+``if self.checker is not None`` hooks, placed exactly where the hardware
+moves data, so mutated protocol logic cannot dodge the model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import ConformanceError
+from repro.check.oracle import (INIT, ReferenceMemory, WORD_BYTES, ZERO,
+                                word_of)
+from repro.memsys.hierarchy import (LEVEL_BUFFER, LEVEL_L2, LEVEL_MEM,
+                                    LEVEL_REGISTER, LEVEL_WB)
+from repro.memsys.states import LineState
+from repro.trace.blockop import BlockOpDescriptor
+
+#: Read sources that are architecturally non-coherent by design: the
+#: bypass source line register and the Blk_ByPref prefetch buffer are not
+#: snooped, so (per the paper's hardware) they may legitimately serve data
+#: that a concurrent writer has since replaced.
+_UNCHECKED_LEVELS = (LEVEL_REGISTER, LEVEL_BUFFER)
+
+
+class _AlwaysPending:
+    """Sentinel for ``Processor._pending_ready`` containing every line.
+
+    Forces the processor's inline clean-L1-hit fast path to take the full
+    ``CpuMemorySystem.read`` call chain (where the checker's wrapper
+    lives).  The slow path is bit-identical in metrics — enforced by
+    ``test_forced_slow_path_matches``.
+    """
+
+    __slots__ = ()
+
+    def __contains__(self, line: int) -> bool:
+        return True
+
+
+class ConformanceChecker:
+    """Mirrors protocol data movement into the oracle and checks it."""
+
+    def __init__(self, system) -> None:
+        self.system = system
+        self.controller = system.controller
+        machine = system.config.machine
+        self.l2_line_bytes = machine.l2.line_bytes
+        self.l1_line_bytes = machine.l1d.line_bytes
+        self.oracle = ReferenceMemory(system.trace.num_cpus,
+                                      self.l2_line_bytes)
+        #: Accesses the checker actually inspected (sanity/reporting).
+        self.accesses_checked = 0
+        #: Pre-write remote sharers of an update-page line, per CPU.
+        self._update_sharers: Dict[int, Tuple[int, List[int]]] = {}
+
+    # ------------------------------------------------------------------
+    # Error helper
+    # ------------------------------------------------------------------
+    def _fail(self, kind: str, message: str, **details) -> None:
+        raise ConformanceError(f"{kind}: {message}", kind=kind,
+                               details=details)
+
+    # ==================================================================
+    # Hooks called by the coherence controller / DMA engine / hierarchy
+    # ==================================================================
+    def invalidate(self, cpu: int, line: int) -> None:
+        """*cpu*'s copy of *line* was invalidated."""
+        self.oracle.drop_line(cpu, line)
+
+    def fill_from_memory(self, cpu: int, line: int) -> None:
+        """Memory supplies *line* to *cpu* (staged until the L2 install)."""
+        self.oracle.stage_from_memory(cpu, line)
+
+    def fill_from_cache(self, cpu: int, line: int, holders: List[int]) -> None:
+        """A holder supplies *line* cache-to-cache for a read.
+
+        Called before the state transition, so a MODIFIED supplier is
+        still visible; per Illinois it writes the line back while
+        supplying it.
+        """
+        ports = self.controller.ports
+        dirty = None
+        for i in holders:
+            if ports[i].l2.state_of(line) == LineState.MODIFIED:
+                dirty = i
+                break
+        supplier = dirty if dirty is not None else holders[0]
+        self.oracle.stage_from_cpu(cpu, supplier, line,
+                                   writeback=dirty is not None)
+
+    def fill_for_ownership(self, cpu: int, line: int,
+                           dirty: Optional[int]) -> None:
+        """Read-for-ownership supply: dirty holder or memory, no writeback."""
+        if dirty is not None:
+            self.oracle.stage_from_cpu(cpu, dirty, line, writeback=False)
+        else:
+            self.oracle.stage_from_memory(cpu, line)
+
+    def l2_install(self, cpu: int, line: int, evicted: int,
+                   evicted_dirty: bool) -> None:
+        """*line* was installed in *cpu*'s L2, evicting *evicted*."""
+        if evicted != -1:
+            if evicted_dirty:
+                self.oracle.writeback_line(cpu, evicted)
+            self.oracle.drop_line(cpu, evicted)
+        if not self.oracle.commit_fill(cpu, line):
+            self._fail("unstaged-fill",
+                       f"cpu {cpu} installed line {line:#x} that no bus "
+                       f"transfer supplied", cpu=cpu, line=line)
+
+    def update_word(self, cpu: int, addr: int, holders: List[int]) -> None:
+        """Firefly broadcast of *addr*'s word to the listed holders."""
+        self.oracle.firefly_update(addr, holders)
+
+    def writeback(self, cpu: int, line: int) -> None:
+        """*cpu* flushed *line* to memory, keeping its copy."""
+        self.oracle.writeback_line(cpu, line)
+
+    def bypass_flush(self, cpu: int, line: int) -> None:
+        """The bypass destination register flushed *line* to memory."""
+        self.oracle.flush_store_reg(cpu, line, self.l1_line_bytes)
+
+    def dma_commit(self, cpu: int, desc: BlockOpDescriptor) -> None:
+        """The DMA engine performed block operation *desc*.
+
+        Runs after the source and destination snoops, so memory already
+        holds any dirty source data — if it does not, a snoop was lost
+        and the engine would have copied stale bytes.
+        """
+        o = self.oracle
+        if desc.is_copy:
+            for off in range(0, desc.size, WORD_BYTES):
+                sw = word_of(desc.src + off)
+                if o.mem.get(sw, INIT) != o.latest.get(sw, INIT):
+                    self._fail(
+                        "dma-stale-source",
+                        f"DMA copy reads {sw:#x} from memory but the "
+                        f"latest value was never written back",
+                        cpu=cpu, addr=sw, mem=o.mem.get(sw, INIT),
+                        latest=o.latest.get(sw, INIT))
+        dst_words = []
+        for off in range(0, desc.size, WORD_BYTES):
+            dw = word_of(desc.dst + off)
+            tok = (o.latest.get(word_of(desc.src + off), INIT)
+                   if desc.is_copy else ZERO)
+            o.latest[dw] = tok
+            o.mem[dw] = tok
+            dst_words.append(dw)
+        # Snooping updated every cached destination copy in place.
+        ports = self.controller.ports
+        for i, port in enumerate(ports):
+            copies = o.copies[i]
+            for dw in dst_words:
+                if port.l2.state_of(dw) != LineState.INVALID:
+                    copies[dw] = o.latest[dw]
+
+    # ==================================================================
+    # Access-level checks (driven by the per-instance wrappers)
+    # ==================================================================
+    def write_token(self, cpu: int, proc, addr: int) -> object:
+        """Token for the write *proc* is currently performing."""
+        pos = proc.pos - 1
+        rec = proc.stream[pos]
+        desc = proc._blk_desc
+        if rec.blockop and desc is not None and desc.contains_dst(addr):
+            if desc.is_copy:
+                return self.oracle.latest_value(desc.src + (addr - desc.dst))
+            return ZERO
+        return (cpu, pos)
+
+    def begin_write(self, cpu: int, proc, addr: int) -> object:
+        """Commit the write architecturally, before the machinery runs.
+
+        The commit must precede the drain: a Firefly broadcast during the
+        drain reads the latest token.  The writer's own copy is patched in
+        :meth:`end_write` — after the drain, whose ownership fetch fills
+        the line with pre-write data.
+        """
+        token = self.write_token(cpu, proc, addr)
+        controller = self.controller
+        if controller.is_update_addr(addr):
+            line = self.oracle.line_of(addr)
+            ports = controller.ports
+            sharers = [i for i, p in enumerate(ports)
+                       if i != cpu
+                       and p.l2.state_of(line) != LineState.INVALID]
+            self._update_sharers[cpu] = (line, sharers)
+        self.oracle.commit_write(addr, token)
+        return token
+
+    def end_write(self, cpu: int, addr: int, token: object,
+                  level: str) -> None:
+        self.oracle.set_copy(cpu, addr, token)
+        pre = self._update_sharers.pop(cpu, None)
+        if pre is not None:
+            line, sharers = pre
+            ports = self.controller.ports
+            for i in sharers:
+                if ports[i].l2.state_of(line) == LineState.INVALID:
+                    self._fail(
+                        "update-invalidated-sharer",
+                        f"Firefly write to {addr:#x} by cpu {cpu} "
+                        f"invalidated sharer cpu {i} instead of updating "
+                        f"it", cpu=cpu, addr=addr, sharer=i, line=line)
+
+    def observe_read(self, cpu: int, addr: int, level: str) -> None:
+        """A cached read completed; the copy must hold the latest value."""
+        if level in _UNCHECKED_LEVELS:
+            return
+        expected = self.oracle.latest_value(addr)
+        got = self.oracle.copy_value(cpu, addr)
+        if got != expected:
+            self._fail("stale-read",
+                       f"cpu {cpu} read {addr:#x} and observed {got!r}, "
+                       f"architecturally latest is {expected!r}",
+                       cpu=cpu, addr=addr, got=got, expected=expected)
+
+    def observe_read_bypass(self, cpu: int, addr: int, level: str) -> None:
+        """A bypassing read completed.
+
+        Only the paths the bypass machinery serves itself are checked
+        here; a fallback through the normal cached path was already
+        checked by the nested :meth:`observe_read`.
+        """
+        if level == LEVEL_L2:
+            self.observe_read(cpu, addr, level)
+        elif level == LEVEL_MEM:
+            expected = self.oracle.latest_value(addr)
+            got = self.oracle.mem_value(addr)
+            if got != expected:
+                self._fail("stale-bypass-read",
+                           f"cpu {cpu} bypass-read {addr:#x} from memory "
+                           f"and observed {got!r}, latest is {expected!r}",
+                           cpu=cpu, addr=addr, got=got, expected=expected)
+
+    def after_access(self, cpu: int, addr: int) -> None:
+        """Structural invariants around the line just touched."""
+        self.accesses_checked += 1
+        self.check_line(self.oracle.line_of(addr))
+        mem = self.system.memories[cpu]
+        self._check_wb(cpu, mem.wb1)
+        self._check_wb(cpu, mem.wb2)
+
+    # ==================================================================
+    # Structural invariants
+    # ==================================================================
+    def check_line(self, line: int) -> None:
+        """SWMR, single dirty owner, and inclusion for one L2 line."""
+        ports = self.controller.ports
+        owned = present = 0
+        for port in ports:
+            state = port.l2.state_of(line)
+            if state != LineState.INVALID:
+                present += 1
+                if state in (LineState.EXCLUSIVE, LineState.MODIFIED):
+                    owned += 1
+        if owned > 1:
+            self._fail("multiple-owners",
+                       f"line {line:#x} has {owned} EXCLUSIVE/MODIFIED "
+                       f"holders", line=line, owners=owned)
+        if owned == 1 and present > 1:
+            self._fail("owned-and-shared",
+                       f"line {line:#x} is owned while {present - 1} other "
+                       f"copies are outstanding", line=line, present=present)
+        l1_bytes = self.l1_line_bytes
+        for cpu, port in enumerate(ports):
+            if port.l2.state_of(line) != LineState.INVALID:
+                continue
+            for sub in range(line, line + self.l2_line_bytes, l1_bytes):
+                if port.l1d.present(sub) or port.l1i.present(sub):
+                    self._fail("inclusion",
+                               f"cpu {cpu} holds L1 line {sub:#x} whose L2 "
+                               f"line {line:#x} is not resident",
+                               cpu=cpu, line=line, sub=sub)
+
+    def _check_wb(self, cpu: int, wb) -> None:
+        """FIFO drain order: completion times must be non-decreasing."""
+        prev = None
+        for end in wb._entries:
+            if prev is not None and end < prev:
+                self._fail("wb-order",
+                           f"cpu {cpu} {wb.name} retires out of FIFO order "
+                           f"({end} after {prev})", cpu=cpu, buffer=wb.name)
+            prev = end
+
+    # ==================================================================
+    # End-of-run verification
+    # ==================================================================
+    def verify_final(self) -> None:
+        """Diff the simulated hierarchy against the reference model."""
+        o = self.oracle
+        ports = self.controller.ports
+        for cpu in range(o.num_cpus):
+            staged = o.staged_line(cpu)
+            if staged is not None:
+                self._fail("dangling-fill",
+                           f"cpu {cpu}: bus supplied line {staged:#x} but "
+                           f"no L2 install followed", cpu=cpu, line=staged)
+            if o.store_regs[cpu]:
+                self._fail("unflushed-store-register",
+                           f"cpu {cpu}: bypass register still holds "
+                           f"{sorted(o.store_regs[cpu])} after the run",
+                           cpu=cpu)
+        lines = set()
+        for port in ports:
+            lines.update(port.l2.resident_lines())
+        for line in lines:
+            self.check_line(line)
+        for cpu, port in enumerate(ports):
+            copies = o.copies[cpu]
+            for line in port.l2.resident_lines():
+                state = port.l2.state_of(line)
+                for w in o.line_words(line):
+                    held = copies.get(w, INIT)
+                    if state == LineState.MODIFIED:
+                        want = o.latest.get(w, INIT)
+                        if held != want:
+                            self._fail(
+                                "dirty-copy-stale",
+                                f"cpu {cpu} holds {w:#x} MODIFIED with "
+                                f"{held!r}, latest is {want!r}",
+                                cpu=cpu, addr=w, got=held, expected=want)
+                    else:
+                        want = o.mem.get(w, INIT)
+                        if held != want:
+                            self._fail(
+                                "clean-copy-diverged",
+                                f"cpu {cpu} holds {w:#x} "
+                                f"{LineState(state).name} with {held!r}, "
+                                f"memory has {want!r} — a write-back was "
+                                f"lost or a fill went stale",
+                                cpu=cpu, addr=w, got=held, expected=want)
+            for w in copies:
+                if port.l2.state_of(w) == LineState.INVALID:
+                    self._fail("ghost-copy",
+                               f"cpu {cpu} shadow-holds {w:#x} but its line "
+                               f"is not resident", cpu=cpu, addr=w)
+        for w, tok in o.latest.items():
+            if o.mem.get(w, INIT) == tok:
+                continue
+            line = o.line_of(w)
+            for cpu, port in enumerate(ports):
+                if (port.l2.state_of(line) == LineState.MODIFIED
+                        and o.copies[cpu].get(w, INIT) == tok):
+                    break
+            else:
+                self._fail("lost-write",
+                           f"latest value {tok!r} of {w:#x} is neither in "
+                           f"memory nor in any dirty line — the write was "
+                           f"dropped", addr=w, token=tok)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def architectural_memory(self, exclude=()) -> Dict[int, object]:
+        """Final architectural contents (see the oracle's docstring)."""
+        return self.oracle.architectural_memory(exclude)
+
+
+# ======================================================================
+# Attachment
+# ======================================================================
+def attach_checker(system) -> ConformanceChecker:
+    """Arm *system* with a conformance checker; returns it.
+
+    Must run before :meth:`~repro.sim.system.MultiprocessorSystem.run`.
+    """
+    checker = ConformanceChecker(system)
+    system.controller.checker = checker
+    for proc, mem in zip(system.processors, system.memories):
+        proc._pending_ready = _AlwaysPending()
+        _wrap_cpu(checker, mem, proc)
+    _wrap_finalize(checker, system)
+    return checker
+
+
+def _wrap_cpu(checker: ConformanceChecker, mem, proc) -> None:
+    """Wrap one CPU's access methods on the *instance* (class untouched)."""
+    cpu = mem.cpu_id
+    orig_read = mem.read
+    orig_write = mem.write
+    orig_write_cycles = mem.write_cycles
+    orig_read_bypass = mem.read_bypass
+    orig_write_bypass = mem.write_bypass
+
+    def read(addr, t):
+        res = orig_read(addr, t)
+        checker.observe_read(cpu, addr, res.level)
+        checker.after_access(cpu, addr)
+        return res
+
+    def write(addr, t):
+        token = checker.begin_write(cpu, proc, addr)
+        res = orig_write(addr, t)
+        checker.end_write(cpu, addr, token, res.level)
+        checker.after_access(cpu, addr)
+        return res
+
+    def write_cycles(addr, t):
+        token = checker.begin_write(cpu, proc, addr)
+        out = orig_write_cycles(addr, t)
+        checker.end_write(cpu, addr, token, LEVEL_WB)
+        checker.after_access(cpu, addr)
+        return out
+
+    def read_bypass(addr, t):
+        res = orig_read_bypass(addr, t)
+        checker.observe_read_bypass(cpu, addr, res.level)
+        checker.after_access(cpu, addr)
+        return res
+
+    def write_bypass(addr, t):
+        # A register-buffered write is globally invisible until the flush
+        # commits it (bypass_flush), so only the token is computed here;
+        # the fallback to the cached path re-enters the wrapped write,
+        # which commits with the normal begin/end protocol.
+        token = checker.write_token(cpu, proc, addr)
+        res = orig_write_bypass(addr, t)
+        if res.level == LEVEL_REGISTER:
+            checker.oracle.set_store_reg(cpu, addr, token)
+        checker.after_access(cpu, addr)
+        return res
+
+    mem.read = read
+    mem.write = write
+    mem.write_cycles = write_cycles
+    mem.read_bypass = read_bypass
+    mem.write_bypass = write_bypass
+
+
+def _wrap_finalize(checker: ConformanceChecker, system) -> None:
+    orig_finalize = system._finalize
+
+    def _finalize():
+        metrics = orig_finalize()
+        checker.verify_final()
+        return metrics
+
+    system._finalize = _finalize

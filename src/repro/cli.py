@@ -5,6 +5,7 @@ Subcommands::
     repro generate  <workload> -o trace.npz [--scale S] [--seed N] [--text]
     repro inspect   <trace.npz|.txt>
     repro simulate  <workload|trace file> [--config Base] [--scale S]
+                    [--check]
     repro report    [--scale S] [--only table1,figure3] [--ascii] [-o FILE]
                     [--workers N] [--cache-dir DIR] [--no-cache]
                     [--ledger PATH] [--max-retries N] [--job-timeout S]
@@ -63,6 +64,7 @@ def cmd_inspect(args: argparse.Namespace) -> int:
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.common.errors import ConformanceError
     if args.input in WORKLOAD_ORDER:
         trace = generate(args.input, seed=args.seed, scale=args.scale)
     else:
@@ -72,7 +74,14 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         print(f"unknown config {args.config!r}; choose from "
               f"{list(configs)}", file=sys.stderr)
         return 2
-    metrics = simulate(trace, configs[args.config])
+    try:
+        metrics = simulate(trace, configs[args.config],
+                           check=True if args.check else None)
+    except ConformanceError as err:
+        print(f"conformance violation [{err.kind}]: {err}", file=sys.stderr)
+        return 1
+    if args.check:
+        print("conformance: ok (oracle + invariants)")
     tb = metrics.os_time()
     print(f"config:      {args.config}")
     print(f"makespan:    {metrics.makespan:,} cycles")
@@ -160,6 +169,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--config", default="Base")
     p.add_argument("--scale", type=float, default=0.25)
     p.add_argument("--seed", type=int, default=1996)
+    p.add_argument("--check", action="store_true",
+                   help="run the coherence conformance checker "
+                        "(reference oracle + MESI/Firefly invariants)")
     p.set_defaults(fn=cmd_simulate)
 
     p = sub.add_parser("report", help="regenerate tables and figures")

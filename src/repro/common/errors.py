@@ -41,6 +41,25 @@ class DeadlockError(SimulationError):
     """All processors are blocked and no progress is possible."""
 
 
+class ConformanceError(SimulationError):
+    """The conformance checker observed a protocol violation.
+
+    Raised by :mod:`repro.check` when the runtime invariant checker or the
+    reference memory oracle detects that the simulated coherence machinery
+    diverged from the architectural memory model: a stale read, a lost
+    write, multiple owners of one line, an inclusion violation, or a
+    write-buffer drain out of order.  ``kind`` names the violated
+    invariant; ``details`` carries the structured context (cpu, address,
+    expected/observed tokens).
+    """
+
+    def __init__(self, message: str, kind: str = "",
+                 details: "dict | None" = None) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.details = dict(details or {})
+
+
 class AnalysisError(ReproError):
     """An analysis pass received data it cannot interpret."""
 

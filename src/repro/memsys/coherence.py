@@ -51,6 +51,10 @@ class CoherenceController:
         self.machine = machine
         self.bus = bus
         self.ports: List[_CpuPort] = []
+        #: Conformance checker (:mod:`repro.check`), or None.  The hook
+        #: calls below are all on miss/bus paths, so the disabled cost is
+        #: one attribute test per bus-level operation.
+        self.checker = None
         #: Page-aligned base addresses running the Firefly update protocol.
         self.update_pages: Set[int] = set()
         #: Run Firefly update on *every* address (the pure-update
@@ -114,9 +118,12 @@ class CoherenceController:
     def _invalidate_remotes(self, cpu: int, line: int) -> int:
         """Invalidate every other cache's copy of *line*; returns count."""
         count = 0
+        checker = self.checker
         for i in self._holders(line, cpu):
             self.ports[i].l2.set_state(line, LineState.INVALID)
             self._drop_from_l1(i, line, coherence=True)
+            if checker is not None:
+                checker.invalidate(i, line)
             count += 1
         self.invalidations_sent += count
         return count
@@ -138,6 +145,9 @@ class CoherenceController:
                     self.machine.l2.line_bytes)
                 self.bus.acquire(t, transfer, BusOp.WRITEBACK)
                 self.writebacks += 1
+        if self.checker is not None:
+            self.checker.l2_install(cpu, line, evicted,
+                                    evicted_state == LineState.MODIFIED)
 
     # ------------------------------------------------------------------
     # Demand read path
@@ -156,6 +166,10 @@ class CoherenceController:
             raise SimulationError(f"fetch_shared of resident line {line:#x}")
         holders = self._holders(line, cpu)
         if holders:
+            if self.checker is not None:
+                # Before the state transition: the checker reads the
+                # supplier's (possibly dirty) pre-transfer state.
+                self.checker.fill_from_cache(cpu, line, holders)
             ready = self._split_transfer(t, BusOp.READ_CACHE,
                                          self.bus.params.cache_supply_cycles)
             for i in holders:
@@ -163,6 +177,8 @@ class CoherenceController:
             self.cache_to_cache += 1
             state = LineState.SHARED
         else:
+            if self.checker is not None:
+                self.checker.fill_from_memory(cpu, line)
             ready = self._split_transfer(t, kind,
                                          self.bus.params.memory_access_cycles)
             state = LineState.EXCLUSIVE
@@ -190,6 +206,8 @@ class CoherenceController:
         line = self._l2_line(addr)
         dirty = self._dirty_holder(line, cpu)
         if dirty is not None:
+            if self.checker is not None:
+                self.checker.writeback(dirty, line)
             ready = self._split_transfer(t, BusOp.READ_CACHE,
                                          self.bus.params.cache_supply_cycles)
             # Illinois: the supplier writes back and keeps a SHARED copy.
@@ -231,6 +249,8 @@ class CoherenceController:
             ready = self.fetch_shared(cpu, addr, t)
             return self.broadcast_update(cpu, addr, ready)
         dirty = self._dirty_holder(line, cpu)
+        if self.checker is not None:
+            self.checker.fill_for_ownership(cpu, line, dirty)
         if dirty is not None:
             ready = self._split_transfer(t, BusOp.OWNERSHIP,
                                          self.bus.params.cache_supply_cycles)
@@ -254,6 +274,8 @@ class CoherenceController:
             raise SimulationError(f"update of non-resident line {line:#x}")
         grant = self.bus.acquire(t, self.bus.params.update_cycles, BusOp.UPDATE)
         holders = self._holders(line, cpu)
+        if self.checker is not None:
+            self.checker.update_word(cpu, addr, holders)
         self.updates_sent += 1
         if holders:
             port.l2.set_state(line, LineState.SHARED)
@@ -280,6 +302,8 @@ class CoherenceController:
             if port.l2.state_of(line) != LineState.INVALID:
                 port.l2.set_state(line, LineState.INVALID)
                 self._drop_from_l1(cpu, line, coherence=False)
+                if self.checker is not None:
+                    self.checker.invalidate(cpu, line)
         return grant + transfer
 
     # ------------------------------------------------------------------
@@ -292,8 +316,10 @@ class CoherenceController:
         after writing back; clean copies are untouched.
         """
         line = self._l2_line(line_addr)
-        for port in self.ports:
+        for i, port in enumerate(self.ports):
             if port.l2.state_of(line) == LineState.MODIFIED:
+                if self.checker is not None:
+                    self.checker.writeback(i, line)
                 port.l2.set_state(line, LineState.SHARED)
                 self.cache_to_cache += 1
                 return True
@@ -309,8 +335,15 @@ class CoherenceController:
         """
         line = self._l2_line(line_addr)
         holders = 0
-        for port in self.ports:
+        checker = self.checker
+        for i, port in enumerate(self.ports):
             if port.l2.state_of(line) != LineState.INVALID:
+                if (checker is not None
+                        and port.l2.state_of(line) == LineState.MODIFIED):
+                    # A dirty holder flushes the line before the in-place
+                    # update, so dirty words outside the transferred range
+                    # survive the drop to SHARED.
+                    checker.writeback(i, line)
                 port.l2.set_state(line, LineState.SHARED)
                 holders += 1
         return holders

@@ -64,6 +64,9 @@ def run_dma(mem: CpuMemorySystem, desc: BlockOpDescriptor, t: int) -> DmaResult:
     grant = bus.acquire(t, occupancy, BusOp.DMA)
     done = grant + occupancy
 
+    if controller.checker is not None:
+        controller.checker.dma_commit(mem.cpu_id, desc)
+
     # The transferred data is not brought into the originating CPU's
     # caches; mark uncached lines so reuse analysis can see them.
     ranges = [desc.dst_range()]

@@ -315,6 +315,8 @@ class CpuMemorySystem:
         def service(start: int) -> int:
             grant = self.bus.acquire(start, transfer, BusOp.WRITEBACK)
             controller._invalidate_remotes(cpu, controller._l2_line(line))
+            if controller.checker is not None:
+                controller.checker.bypass_flush(cpu, line)
             return grant + transfer
 
         _insert, stall = self.wb2.enqueue(t, service)

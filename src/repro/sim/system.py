@@ -25,8 +25,10 @@ require bit-identical metrics snapshots.
 from __future__ import annotations
 
 import heapq
+import os
 from typing import Iterable, List, Optional
 
+from repro.check import REPRO_CHECK_ENV
 from repro.common.errors import DeadlockError, SimulationError
 from repro.common.types import MODE_BY_VALUE, Mode
 from repro.memsys.bus import Bus
@@ -47,7 +49,8 @@ class MultiprocessorSystem:
 
     def __init__(self, trace: Trace, config: SystemConfig,
                  update_pages: Optional[Iterable[int]] = None,
-                 hotspot_pcs: Optional[Iterable[int]] = None) -> None:
+                 hotspot_pcs: Optional[Iterable[int]] = None,
+                 check: Optional[bool] = None) -> None:
         if trace.num_cpus > config.machine.num_cpus:
             raise SimulationError(
                 f"trace has {trace.num_cpus} CPUs, machine only "
@@ -80,6 +83,16 @@ class MultiprocessorSystem:
         #: entry while it is actually spinning, so the common case (nobody
         #: contended recently) is an empty dict, cleared by a truth test.
         self._spin_retries: dict = {}
+        #: Conformance checker (repro.check), None unless requested via
+        #: the ``check`` argument or the REPRO_CHECK environment variable.
+        #: Attaching wraps the per-CPU access paths, so the disabled case
+        #: costs nothing on the hot path.
+        self.checker = None
+        if check is None:
+            check = os.environ.get(REPRO_CHECK_ENV, "") not in ("", "0")
+        if check:
+            from repro.check.invariants import attach_checker
+            self.checker = attach_checker(self)
 
     def run(self) -> SystemMetrics:
         """Run every stream to completion; returns the filled metrics.
@@ -189,7 +202,9 @@ class MultiprocessorSystem:
 
 def simulate(trace: Trace, config: SystemConfig,
              update_pages: Optional[Iterable[int]] = None,
-             hotspot_pcs: Optional[Iterable[int]] = None) -> SystemMetrics:
+             hotspot_pcs: Optional[Iterable[int]] = None,
+             check: Optional[bool] = None) -> SystemMetrics:
     """Convenience wrapper: build a system, run it, return the metrics."""
-    system = MultiprocessorSystem(trace, config, update_pages, hotspot_pcs)
+    system = MultiprocessorSystem(trace, config, update_pages, hotspot_pcs,
+                                  check=check)
     return system.run()

@@ -82,3 +82,48 @@ def test_uncached_lines_marked_for_reuse(rig):
     tracker = rig.trackers[0]
     assert DST in tracker.bypassed
     assert SRC in tracker.bypassed
+
+
+# ----------------------------------------------------------------------
+# DMA overlapping dirty lines
+# ----------------------------------------------------------------------
+def test_partial_dst_coverage_of_dirty_line(rig):
+    """A DMA zero covering only part of a MODIFIED destination line still
+    updates the holder in place: the line drops to SHARED (memory now
+    matches the transferred words) but stays resident, keeping the
+    holder's untouched dirty words reachable."""
+    rig.controller.fetch_owned(1, DST, 0)          # cpu1 owns dst line dirty
+    assert rig[1].l2.state_of(DST) == LineState.MODIFIED
+    run_dma(rig[0], make_zero(16), 100)            # half the 32-byte line
+    assert rig[1].l2.state_of(DST) == LineState.SHARED
+    assert rig[1].l2.present(DST)
+
+
+def test_unaligned_src_range_snoops_every_overlapped_line(rig):
+    """A copy whose source starts mid-line must snoop the partially
+    covered first and last lines, not only the fully covered ones."""
+    line_bytes = rig.machine.l2.line_bytes
+    rig.controller.fetch_owned(1, SRC, 0)                   # first line dirty
+    rig.controller.fetch_owned(1, SRC + 2 * line_bytes, 0)  # last line dirty
+    desc = BlockOpRegistry().new_copy(SRC + line_bytes // 2, DST,
+                                      2 * line_bytes)
+    result = run_dma(rig[0], desc, 100)
+    # Both partially covered dirty lines supplied data and dropped clean.
+    assert result.snoop_penalty >= 2 * 5
+    assert rig[1].l2.state_of(SRC) == LineState.SHARED
+    assert rig[1].l2.state_of(SRC + 2 * line_bytes) == LineState.SHARED
+
+
+def test_dirty_src_and_dst_same_dma(rig):
+    """Dirty source and dirty destination in one transfer: the source is
+    written back and supplied, the destination updated in place.  The
+    dirty destination line is offset by one L2 line so the two dirty
+    fills do not conflict in the direct-mapped L2 (SRC and DST map to
+    the same set)."""
+    line_bytes = rig.machine.l2.line_bytes
+    rig.controller.fetch_owned(1, SRC, 0)
+    rig.controller.fetch_owned(1, DST + line_bytes, 0)
+    result = run_dma(rig[0], make_copy(2 * line_bytes), 100)
+    assert rig[1].l2.state_of(SRC) == LineState.SHARED
+    assert rig[1].l2.state_of(DST + line_bytes) == LineState.SHARED
+    assert result.snoop_penalty >= 5 + 2

@@ -94,3 +94,45 @@ def test_enqueue_counts():
     for _ in range(5):
         wb.enqueue(0, fixed(1))
     assert wb.enqueues == 5
+
+
+# ----------------------------------------------------------------------
+# Drain ordering under back-to-back block operations
+# ----------------------------------------------------------------------
+def test_backtoback_bursts_complete_in_fifo_order():
+    """Two block ops' write bursts drain strictly in enqueue order even
+    when service times vary wildly (the conformance wb-order invariant)."""
+    wb = TimedWriteBuffer(4)
+    completions = []
+    for duration in (7, 1, 9, 2, 5, 1, 8, 3):  # op A then op B, no gap
+        wb.enqueue(0, fixed(duration))
+        completions.append(wb.last_service_end)
+    assert completions == sorted(completions)
+    assert wb.drain_time(0) == completions[-1]
+
+
+def test_backtoback_bursts_with_gap_keep_order():
+    """A second burst starting while the first still drains serializes
+    behind it; one starting after the drain does not stall."""
+    wb = TimedWriteBuffer(2)
+    for _ in range(4):
+        wb.enqueue(0, fixed(10))
+    mid_end = wb.last_service_end
+    assert mid_end == 40
+    # Back-to-back: next burst overlaps the tail of the first.
+    t, stall = wb.enqueue(15, fixed(10))
+    assert stall > 0
+    assert wb.last_service_end == 50
+    # After a full drain there is no carried-over stall.
+    t, stall = wb.enqueue(200, fixed(10))
+    assert (t, stall) == (200, 0)
+
+
+def test_occupancy_during_backtoback_bursts():
+    wb = TimedWriteBuffer(3)
+    for start in (0, 0, 0, 30, 30, 30):
+        wb.enqueue(start, fixed(10))
+    # Entries retire strictly in completion order as time advances.
+    occ = [wb.occupancy(t) for t in (0, 15, 45, 1000)]
+    assert occ[0] >= occ[1] or occ[1] >= occ[2]
+    assert occ[-1] == 0
