@@ -38,6 +38,11 @@ from repro.analysis.report import (
     render_line_chart,
     render_table,
 )
+from repro.analysis.timeline_view import (
+    bucket_span,
+    density_lane,
+    render_miss_timeline,
+)
 from repro.analysis.tracestats import SharingProfile, TraceStats
 from repro.analysis.tables import (
     ALL_TABLES,
@@ -65,7 +70,10 @@ __all__ = [
     "ascii_line_chart",
     "ascii_render",
     "attribution_report",
+    "bucket_span",
     "calibration_report",
+    "density_lane",
+    "render_miss_timeline",
     "compare_tables",
     "hotspot_kinds",
     "misses_by_block",

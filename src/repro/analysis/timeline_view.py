@@ -1,0 +1,92 @@
+"""ASCII timeline views: shared bucketing plus the miss-density chart.
+
+This module owns the time-to-column bucketing that every lane chart in
+the repository uses (:func:`bucket_span`), and builds on it to render a
+:class:`~repro.obs.tracer.Tracer`'s event log as a per-CPU **miss
+timeline** — one density lane per CPU plus one for the bus, each column
+a bucket of simulated cycles shaded by how many miss/bus events landed
+in it.  Where :func:`repro.sim.timeline.render_timeline` shows *what
+each CPU executed*, the miss timeline shows *where the memory system
+hurt*: miss bursts, bus saturation, and the quiet stretches in between.
+
+It deliberately lives in :mod:`repro.analysis` (not :mod:`repro.sim`):
+it consumes an already-recorded event log and has no simulator
+dependencies beyond the event types.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.events import CAT_BUS, CAT_MISS, LANE_BUS
+from repro.obs.tracer import Tracer
+
+#: Density shading, lightest to heaviest (index 0 renders empty buckets).
+DENSITY_GLYPHS = " .:+*#@"
+
+
+def bucket_span(start: int, end: int, window_start: int, span: int,
+                width: int) -> Tuple[int, int]:
+    """Map the cycle interval [*start*, *end*) to a column range.
+
+    Returns ``(lo, hi)`` columns (hi exclusive, clamped to *width*); an
+    interval always covers at least one column so short events stay
+    visible.  This is the exact bucketing ``render_timeline`` has always
+    used, factored out so every lane chart shades identically.
+    """
+    lo = (start - window_start) * width // span
+    hi = max(lo + 1,
+             (min(end, window_start + span) - window_start) * width // span)
+    return lo, min(hi, width)
+
+
+def density_lane(counts: List[int], peak: int) -> str:
+    """Shade one lane of bucket counts against the global *peak*."""
+    if peak <= 0:
+        return " " * len(counts)
+    scale = len(DENSITY_GLYPHS) - 1
+    chars = []
+    for n in counts:
+        if n <= 0:
+            chars.append(DENSITY_GLYPHS[0])
+        else:
+            chars.append(DENSITY_GLYPHS[max(1, n * scale // peak)])
+    return "".join(chars)
+
+
+def render_miss_timeline(tracer: Tracer, width: int = 72,
+                         cycles: Optional[int] = None) -> str:
+    """Per-CPU (plus bus) miss-density lanes over the traced window.
+
+    Each column is a bucket of simulated cycles; the glyph darkens with
+    the number of miss events (CPU lanes) or bus grants (bus lane) that
+    started there.  *cycles* clips the window like ``render_timeline``.
+    """
+    picked = [ev for ev in tracer.events if ev.cat in (CAT_MISS, CAT_BUS)]
+    if not picked:
+        return "(no miss events recorded)"
+    window_start = min(ev.ts for ev in picked)
+    window_end = max(ev.ts + ev.dur for ev in picked)
+    span = cycles if cycles is not None else (window_end - window_start)
+    span = max(1, span)
+    lanes: Dict[int, List[int]] = {cpu: [0] * width
+                                   for cpu in range(tracer.num_cpus)}
+    lanes[LANE_BUS] = [0] * width
+    for ev in picked:
+        if ev.ts >= window_start + span or ev.lane not in lanes:
+            continue
+        lo, hi = bucket_span(ev.ts, ev.ts + max(ev.dur, 1), window_start,
+                             span, width)
+        for col in range(lo, hi):
+            lanes[ev.lane][col] += 1
+    peak = max((max(counts) for counts in lanes.values()), default=0)
+    out = [f"miss timeline: cycles {window_start:,}.."
+           f"{window_start + span:,} "
+           f"({len(picked)} miss/bus events"
+           + (f", {tracer.dropped} dropped" if tracer.dropped else "")
+           + f"; peak {peak}/bucket)"]
+    for cpu in range(tracer.num_cpus):
+        out.append(f"cpu{cpu} |{density_lane(lanes[cpu], peak)}|")
+    out.append(f"bus  |{density_lane(lanes[LANE_BUS], peak)}|")
+    out.append(f"legend: density {DENSITY_GLYPHS[1:]} (light -> heavy)")
+    return "\n".join(out)

@@ -5,7 +5,8 @@ Subcommands::
     repro generate  <workload> -o trace.npz [--scale S] [--seed N] [--text]
     repro inspect   <trace.npz|.txt>
     repro simulate  <workload|trace file> [--config Base] [--scale S]
-                    [--check]
+                    [--check] [--trace-out t.json] [--trace-limit N]
+                    [--profile] [--timeline]
     repro report    [--scale S] [--only table1,figure3] [--ascii] [-o FILE]
                     [--workers N] [--cache-dir DIR] [--no-cache]
                     [--ledger PATH] [--max-retries N] [--job-timeout S]
@@ -74,9 +75,14 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         print(f"unknown config {args.config!r}; choose from "
               f"{list(configs)}", file=sys.stderr)
         return 2
+    tracer = None
+    if args.trace_out or args.profile or args.timeline:
+        from repro.obs import Tracer
+        tracer = Tracer(max_events=args.trace_limit)
     try:
         metrics = simulate(trace, configs[args.config],
-                           check=True if args.check else None)
+                           check=True if args.check else None,
+                           tracer=tracer)
     except ConformanceError as err:
         print(f"conformance violation [{err.kind}]: {err}", file=sys.stderr)
         return 1
@@ -93,6 +99,22 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     print(f"mode shares: " + ", ".join(
         f"{m.name.lower()} {metrics.mode_fraction(m):.0%}" for m in Mode))
     print(f"bus busy:    {metrics.bus_utilization():.0%} of makespan")
+    if tracer is not None:
+        if args.trace_out:
+            from repro.obs import save_chrome_trace
+            count = save_chrome_trace(tracer, args.trace_out)
+            dropped = (f" ({tracer.dropped:,} dropped past --trace-limit)"
+                       if tracer.dropped else "")
+            print(f"trace:       {count:,} events -> {args.trace_out}"
+                  f"{dropped}")
+        if args.profile:
+            from repro.obs import MissProfile
+            print()
+            print(MissProfile(tracer).render())
+        if args.timeline:
+            from repro.analysis.timeline_view import render_miss_timeline
+            print()
+            print(render_miss_timeline(tracer))
     return 0
 
 
@@ -172,6 +194,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--check", action="store_true",
                    help="run the coherence conformance checker "
                         "(reference oracle + MESI/Firefly invariants)")
+    p.add_argument("--trace-out", default="",
+                   help="write a Chrome/Perfetto trace JSON of the miss "
+                        "lifecycle to this path (load in ui.perfetto.dev)")
+    p.add_argument("--trace-limit", type=int, default=1_000_000,
+                   help="cap on recorded trace events (profile stats stay "
+                        "exact past the cap; default 1000000)")
+    p.add_argument("--profile", action="store_true",
+                   help="print the per-site miss profile (Table 6 style) "
+                        "and per-service attribution")
+    p.add_argument("--timeline", action="store_true",
+                   help="print an ASCII miss/bus density timeline")
     p.set_defaults(fn=cmd_simulate)
 
     p = sub.add_parser("report", help="regenerate tables and figures")

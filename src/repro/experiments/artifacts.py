@@ -28,7 +28,11 @@ Design:
   to ``<entry>.quarantined`` so the evidence survives for post-mortems —
   counted as a miss, and recomputed by the caller.  Parse failures on
   legacy entries without a sidecar are quarantined the same way, so a
-  bad artifact can never crash a sweep or be silently re-read.
+  bad artifact can never crash a sweep or be silently re-read.  Every
+  quarantine is recorded as an ``artifact_corrupt`` event on the run
+  ledger (when one is attached), and only the specific corruption
+  error classes are caught — an unexpected exception propagates as
+  the bug it is.
 
 :class:`SimKey` is the typed key shared by the in-memory metrics cache
 of :class:`repro.experiments.runner.ExperimentRunner` and the parallel
@@ -42,10 +46,11 @@ import hashlib
 import json
 import os
 import tempfile
+import zipfile
 from collections import Counter
 from typing import Any, Dict, List, Optional
 
-from repro.common.errors import ArtifactCorruptError
+from repro.common.errors import ArtifactCorruptError, TraceError
 from repro.common.params import MachineParams
 from repro.optim.update_select import UpdateSelection
 from repro.trace import npzio
@@ -120,10 +125,17 @@ class ArtifactCache:
     the benchmark suite) can assert what was recomputed.
     """
 
-    def __init__(self, root: str) -> None:
+    def __init__(self, root: str, ledger=None) -> None:
         self.root = os.fspath(root)
         self.dir = os.path.join(self.root, f"v{CACHE_VERSION}")
         self.stats: Counter = Counter()
+        #: Optional :class:`repro.experiments.ledger.RunLedger`; every
+        #: quarantined artifact is recorded as an ``artifact_corrupt``
+        #: event instead of being silently swallowed.
+        if ledger is None:
+            from repro.experiments.ledger import RunLedger
+            ledger = RunLedger.null()
+        self.ledger = ledger
 
     # ------------------------------------------------------------------
     # Paths
@@ -180,13 +192,19 @@ class ArtifactCache:
             raise ArtifactCorruptError(
                 f"artifact failed hash verification: {path}", path=path)
 
-    def _quarantine(self, path: str) -> None:
+    def _quarantine(self, path: str, stage: str = "?",
+                    error: Optional[BaseException] = None) -> None:
         """Move a corrupt entry (and its sidecar) out of the key space.
 
         The renamed ``*.quarantined`` copy keeps the evidence for
         debugging; the original path becomes a plain miss so the caller
         regenerates it.  Falls back to deletion if the rename fails.
+        The corruption is recorded as an ``artifact_corrupt`` ledger
+        event (with the triggering error), never silently swallowed.
         """
+        self.ledger.record("artifact_corrupt", stage=stage, path=path,
+                           error=repr(error) if error is not None else None,
+                           worker_pid=os.getpid())
         for victim in (path, path + ".sha256"):
             if not os.path.exists(victim):
                 continue
@@ -216,10 +234,12 @@ class ArtifactCache:
         try:
             self._verify(path)
             trace = npzio.load(path)
-        except Exception:
+        except (ArtifactCorruptError, TraceError, zipfile.BadZipFile,
+                OSError, ValueError, KeyError, EOFError) as err:
             # Bit rot, truncated write, version skew: quarantine the
-            # evidence and let the caller recompute.
-            self._quarantine(path)
+            # evidence and let the caller recompute.  Anything outside
+            # this set is a real bug and propagates.
+            self._quarantine(path, stage=stage, error=err)
             self.stats[f"{stage}.miss"] += 1
             self.stats[f"{stage}.corrupt"] += 1
             self.stats[f"{stage}.quarantine"] += 1
@@ -246,11 +266,14 @@ class ArtifactCache:
             self._verify(path)
             with open(path) as fp:
                 envelope = json.load(fp)
+            if not isinstance(envelope, dict):
+                raise ValueError("cache envelope is not an object")
             if envelope.get("version") != CACHE_VERSION:
                 raise ValueError("cache version mismatch")
             payload = envelope["payload"]
-        except Exception:
-            self._quarantine(path)
+        except (ArtifactCorruptError, OSError, ValueError,
+                KeyError) as err:
+            self._quarantine(path, stage=stage, error=err)
             self.stats[f"{stage}.miss"] += 1
             self.stats[f"{stage}.corrupt"] += 1
             self.stats[f"{stage}.quarantine"] += 1
@@ -282,7 +305,13 @@ class ArtifactCache:
                 variables=[str(v) for v in payload["variables"]],
                 core_bytes=int(payload["core_bytes"]),
                 covered_misses=int(payload["covered_misses"]))
-        except Exception:
+        except (KeyError, TypeError, ValueError) as err:
+            # Valid JSON, wrong shape: quarantine so the entry is
+            # regenerated instead of failing identically forever.
+            self._quarantine(self._path(key, "json"), stage="update",
+                             error=err)
+            self.stats["update.corrupt"] += 1
+            self.stats["update.quarantine"] += 1
             return None
 
     def store_update_selection(self, key: str,
@@ -300,7 +329,11 @@ class ArtifactCache:
             return None
         try:
             return [int(pc) for pc in payload]
-        except Exception:
+        except (TypeError, ValueError) as err:
+            self._quarantine(self._path(key, "json"), stage="hotspots",
+                             error=err)
+            self.stats["hotspots.corrupt"] += 1
+            self.stats["hotspots.quarantine"] += 1
             return None
 
     def store_hotspots(self, key: str, pcs: List[int]) -> None:

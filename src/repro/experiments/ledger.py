@@ -16,11 +16,19 @@ Event schema (field presence varies by event)::
      ...}
 
 Event names: ``sweep_start``, ``scheduled``, ``finished``, ``retried``,
-``timed_out``, ``quarantined``, ``job_failed``, ``pool_broken``,
-``pool_rebuilt``, ``degraded_serial``, ``sweep_end``.
+``timed_out``, ``quarantined``, ``artifact_corrupt``, ``heartbeat``,
+``job_failed``, ``pool_broken``, ``pool_rebuilt``, ``degraded_serial``,
+``sweep_end``.
+
+Timing fields: the ``ts`` wall-clock stamp is for humans reading the
+file; every ``duration``/``elapsed`` field is measured with
+``time.monotonic()`` so an NTP step or suspend/resume cannot corrupt
+(or make negative) the profile.
 
 ``python -m repro.experiments.ledger --summarize <ledger.jsonl>``
-renders per-stage timing, retry counts, and fault totals.
+renders per-stage timing, retry counts, fault totals, cache hit rate,
+and throughput — including live progress from ``heartbeat`` events when
+the sweep is still running.
 """
 
 from __future__ import annotations
@@ -55,20 +63,27 @@ class RunLedger:
 
     def record(self, event: str, **fields: Any) -> None:
         """Append one event; never raises (a dying ledger must not kill
-        the sweep it documents)."""
+        the sweep it documents).
+
+        The line is serialized first (unencodable values degrade to their
+        ``repr``) and written with a single ``write`` call, so a failure
+        can never leave a torn half-line for concurrent writers — with
+        ``O_APPEND`` semantics, whole-line appends from several worker
+        processes interleave but never interleave *within* a line.
+        """
         if self.path is None:
             return
         entry = {"ts": round(time.time(), 3), "event": event}
         entry.update(fields)
         try:
+            line = json.dumps(entry, sort_keys=True, default=repr)
             if self._fp is None:
                 os.makedirs(os.path.dirname(self.path) or ".",
                             exist_ok=True)
                 self._fp = open(self.path, "a")
-            json.dump(entry, self._fp, sort_keys=True)
-            self._fp.write("\n")
+            self._fp.write(line + "\n")
             self._fp.flush()
-        except OSError:
+        except Exception:
             pass
 
     def close(self) -> None:
@@ -124,9 +139,30 @@ def summarize(path: str) -> str:
              f"events: {sum(counts.values())}"]
     starts = [ev for ev in events if ev.get("event") == "sweep_start"]
     ends = [ev for ev in events if ev.get("event") == "sweep_end"]
-    if starts and ends:
+    beats = [ev for ev in events if ev.get("event") == "heartbeat"]
+    finished = counts.get("finished", 0)
+    elapsed = None
+    if ends and isinstance(ends[-1].get("elapsed"), (int, float)):
+        lines.append(f"sweep wall-clock: {ends[-1]['elapsed']:.1f}s")
+        elapsed = float(ends[-1]["elapsed"])
+    elif starts and ends:
         lines.append(f"sweep wall-clock: "
-                     f"{ends[-1]['ts'] - starts[0]['ts']:.1f}s")
+                     f"{max(0.0, ends[-1]['ts'] - starts[0]['ts']):.1f}s")
+    elif beats:
+        last = beats[-1]
+        lines.append(f"in progress: {last.get('done', '?')} done, "
+                     f"{last.get('running', '?')} running, "
+                     f"{last.get('pending', '?')} pending "
+                     f"(heartbeat at +{last.get('elapsed', 0.0):.1f}s)")
+        if isinstance(last.get("elapsed"), (int, float)):
+            elapsed = float(last["elapsed"])
+    if elapsed and finished:
+        lines.append(f"throughput: {finished / elapsed:.2f} jobs/s "
+                     f"({finished} jobs in {elapsed:.1f}s)")
+    hits, misses = cache.get("hits", 0), cache.get("misses", 0)
+    if hits + misses:
+        lines.append(f"cache hit rate: {hits / (hits + misses):.0%} "
+                     f"({hits} hits, {misses} misses)")
     lines.append("")
     lines.append(f"{'stage':<10} {'jobs':>6} {'total s':>9} {'mean s':>8}")
     for kind in sorted(per_kind):
@@ -136,8 +172,9 @@ def summarize(path: str) -> str:
         lines.append(f"{kind:<10} {jobs:>6} {row['seconds']:>9.1f} "
                      f"{mean:>8.2f}")
     lines.append("")
-    for name in ("retried", "timed_out", "quarantined", "job_failed",
-                 "pool_broken", "pool_rebuilt", "degraded_serial"):
+    for name in ("retried", "timed_out", "quarantined", "artifact_corrupt",
+                 "job_failed", "pool_broken", "pool_rebuilt",
+                 "degraded_serial", "heartbeat"):
         lines.append(f"{name:<16} {counts.get(name, 0):>4}")
     if retried_jobs:
         lines.append("")

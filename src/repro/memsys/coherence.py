@@ -55,6 +55,10 @@ class CoherenceController:
         #: calls below are all on miss/bus paths, so the disabled cost is
         #: one attribute test per bus-level operation.
         self.checker = None
+        #: Event tracer (:mod:`repro.obs`), or None.  Set by
+        #: :func:`repro.obs.tracer.attach_tracer`; consulted by explicit
+        #: hooks on paths no instance wrapper can see (the DMA engine).
+        self.tracer = None
         #: Page-aligned base addresses running the Firefly update protocol.
         self.update_pages: Set[int] = set()
         #: Run Firefly update on *every* address (the pure-update

@@ -66,6 +66,9 @@ def run_dma(mem: CpuMemorySystem, desc: BlockOpDescriptor, t: int) -> DmaResult:
 
     if controller.checker is not None:
         controller.checker.dma_commit(mem.cpu_id, desc)
+    result = DmaResult(grant, done, occupancy, penalty)
+    if controller.tracer is not None:
+        controller.tracer.dma(mem.cpu_id, desc, result)
 
     # The transferred data is not brought into the originating CPU's
     # caches; mark uncached lines so reuse analysis can see them.
@@ -77,4 +80,4 @@ def run_dma(mem: CpuMemorySystem, desc: BlockOpDescriptor, t: int) -> DmaResult:
         for line in range(first, rng.stop, l1_line):
             if not mem.l1d.present(line):
                 mem.sink.bypass_mark(line)
-    return DmaResult(grant, done, occupancy, penalty)
+    return result

@@ -1,0 +1,42 @@
+"""Validate an exported Chrome-trace file.
+
+Usage::
+
+    python -m repro.obs --validate trace.json
+
+Exit status: 0 valid, 1 schema violation, 2 unreadable file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.obs.export import validate_chrome_trace
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Validate a Chrome-trace JSON file exported by "
+                    "'repro simulate --trace-out'")
+    parser.add_argument("trace", help="path to a Chrome-trace .json file")
+    parser.add_argument("--validate", action="store_true", default=True,
+                        help="check the file against the Chrome-trace "
+                             "schema (default)")
+    args = parser.parse_args(argv)
+    try:
+        count = validate_chrome_trace(args.trace)
+    except OSError as err:
+        print(f"cannot read {args.trace}: {err}", file=sys.stderr)
+        return 2
+    except ValueError as err:
+        print(f"invalid chrome trace: {err}", file=sys.stderr)
+        return 1
+    print(f"valid chrome trace: {count} events")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,84 @@
+"""Typed trace events and miss classification.
+
+One :class:`TraceEvent` is one timestamped occurrence inside the
+simulated machine.  Timestamps are **simulated cycles** (the Chrome-trace
+exporter writes them into the microsecond field unscaled, so one display
+"us" is one cycle).  Events carry a *lane*: the issuing CPU id, or
+:data:`LANE_BUS` for bus-level activity.
+
+Miss classification mirrors the paper's taxonomy (Table 2 / section
+4.1.3), in the same precedence order the metrics layer uses: a miss on a
+block-operation record is a *block-op* miss; otherwise a miss on a line
+invalidated by a remote write is a *coherence* miss; the remaining misses
+split into *displacement* (evicted by a block-op fill), *reuse* (moved by
+a bypassing scheme without caching), and plain *conflict*.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.memsys.sink import MissFlags
+
+#: Lane id of bus-level events (CPU lanes use the cpu id >= 0).
+LANE_BUS = -1
+
+# Event categories (the Chrome-trace ``cat`` field).
+CAT_MISS = "miss"
+CAT_BUS = "bus"
+CAT_COH = "coh"
+CAT_BLOCKOP = "blockop"
+CAT_DMA = "dma"
+
+CATEGORIES = (CAT_MISS, CAT_BUS, CAT_COH, CAT_BLOCKOP, CAT_DMA)
+
+# Chrome-trace phases used by the exporter.
+PH_COMPLETE = "X"
+PH_INSTANT = "i"
+PH_BEGIN = "B"
+PH_END = "E"
+
+# Miss kinds (string form of the paper's taxonomy).
+KIND_BLOCK_OP = "block-op"
+KIND_COHERENCE = "coherence"
+KIND_DISPLACEMENT = "displacement"
+KIND_REUSE = "reuse"
+KIND_CONFLICT = "conflict"
+
+MISS_KINDS = (KIND_BLOCK_OP, KIND_COHERENCE, KIND_DISPLACEMENT,
+              KIND_REUSE, KIND_CONFLICT)
+
+
+def classify_miss(blockop: bool, flags: Optional[MissFlags]) -> str:
+    """Classify one read miss, matching the metrics layer's precedence."""
+    if blockop:
+        return KIND_BLOCK_OP
+    if flags is not None:
+        if flags.coherence:
+            return KIND_COHERENCE
+        if flags.displaced:
+            return KIND_DISPLACEMENT
+        if flags.bypassed:
+            return KIND_REUSE
+    return KIND_CONFLICT
+
+
+class TraceEvent:
+    """One timestamped event of the simulated machine."""
+
+    __slots__ = ("name", "cat", "ph", "ts", "dur", "lane", "args")
+
+    def __init__(self, name: str, cat: str, ph: str, ts: int, dur: int,
+                 lane: int, args: Dict[str, object]) -> None:
+        self.name = name
+        self.cat = cat
+        self.ph = ph
+        self.ts = ts
+        self.dur = dur
+        self.lane = lane
+        self.args = args
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"TraceEvent({self.name!r}, cat={self.cat!r}, "
+                f"ph={self.ph!r}, ts={self.ts}, dur={self.dur}, "
+                f"lane={self.lane})")

@@ -1,0 +1,136 @@
+"""Chrome-trace / Perfetto JSON export of a tracer's event log.
+
+The format is the JSON Object Format of the Chrome trace-event spec:
+``{"traceEvents": [...], ...}``.  Perfetto and ``chrome://tracing`` both
+load it.  Mapping:
+
+* CPU lanes become threads of process 0 (``pid 0, tid <cpu>``); the bus
+  is process 1.  Metadata events name every lane.
+* Timestamps are simulated cycles written unscaled into the ``ts`` (and
+  ``dur``) microsecond fields — one display "us" is one cycle.
+* Miss and coherence durations are complete (``ph "X"``) events;
+  invalidations are instants; block operations are ``B``/``E`` pairs.
+
+:func:`validate_chrome_trace` checks an exported document (CI runs it on
+every push via ``python -m repro.obs --validate``).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Any, Dict, List, Union
+
+from repro.obs.events import (CATEGORIES, PH_BEGIN, PH_COMPLETE, PH_END,
+                              PH_INSTANT, LANE_BUS)
+from repro.obs.tracer import Tracer
+
+#: ``pid`` values of the two event "processes".
+PID_CPUS = 0
+PID_BUS = 1
+
+_KNOWN_PHASES = (PH_COMPLETE, PH_INSTANT, PH_BEGIN, PH_END, "M")
+
+
+def _lane_ids(lane: int) -> "tuple[int, int]":
+    if lane == LANE_BUS:
+        return PID_BUS, 0
+    return PID_CPUS, lane
+
+
+def chrome_trace(tracer: Tracer) -> Dict[str, Any]:
+    """Render *tracer*'s events as a Chrome-trace JSON document."""
+    events: List[Dict[str, Any]] = [
+        {"name": "process_name", "ph": "M", "pid": PID_CPUS, "ts": 0,
+         "args": {"name": "cpus"}},
+        {"name": "process_name", "ph": "M", "pid": PID_BUS, "ts": 0,
+         "args": {"name": "bus"}},
+        {"name": "thread_name", "ph": "M", "pid": PID_BUS, "tid": 0,
+         "ts": 0, "args": {"name": "bus"}},
+    ]
+    for cpu in range(tracer.num_cpus):
+        events.append({"name": "thread_name", "ph": "M", "pid": PID_CPUS,
+                       "tid": cpu, "ts": 0,
+                       "args": {"name": f"cpu{cpu}"}})
+    for ev in tracer.events:
+        pid, tid = _lane_ids(ev.lane)
+        out: Dict[str, Any] = {"name": ev.name, "cat": ev.cat,
+                               "ph": ev.ph, "ts": ev.ts,
+                               "pid": pid, "tid": tid}
+        if ev.ph == PH_COMPLETE:
+            out["dur"] = ev.dur
+        if ev.ph == PH_INSTANT:
+            out["s"] = "t"  # thread-scoped instant
+        if ev.args:
+            out["args"] = ev.args
+        events.append(out)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "clock": "simulated cycles (1 ts unit = 1 cycle)",
+            "read_misses": tracer.read_misses,
+            "dropped_events": tracer.dropped,
+        },
+    }
+
+
+def save_chrome_trace(tracer: Tracer, path: str) -> int:
+    """Write the Chrome-trace document to *path*; returns event count."""
+    doc = chrome_trace(tracer)
+    with open(path, "w") as fp:
+        json.dump(doc, fp)
+    return len(doc["traceEvents"])
+
+
+def validate_chrome_trace(source: Union[str, Dict[str, Any]]) -> int:
+    """Validate a Chrome-trace document; returns its event count.
+
+    *source* is a path or an already-parsed document.  Raises
+    :class:`ValueError` describing the first schema violation: missing
+    ``traceEvents``, a non-dict event, a missing/unknown ``ph``, a
+    non-numeric ``ts``, a negative ``dur`` on a complete event, or —
+    when the exporter recorded no dropped events — unbalanced ``B``/``E``
+    pairs on any lane.
+    """
+    if isinstance(source, str):
+        with open(source) as fp:
+            doc = json.load(fp)
+    else:
+        doc = source
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ValueError("not a Chrome trace: no 'traceEvents' key")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("'traceEvents' is not a list")
+    depth: Counter = Counter()
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            raise ValueError(f"event #{i} is not an object")
+        ph = ev.get("ph")
+        if ph not in _KNOWN_PHASES:
+            raise ValueError(f"event #{i} has unknown phase {ph!r}")
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            raise ValueError(f"event #{i} has invalid ts {ts!r}")
+        if "name" not in ev:
+            raise ValueError(f"event #{i} has no name")
+        if ph == PH_COMPLETE:
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(f"event #{i} has invalid dur {dur!r}")
+        if ph != "M" and ev.get("cat") not in CATEGORIES:
+            raise ValueError(f"event #{i} has unknown category "
+                             f"{ev.get('cat')!r}")
+        lane = (ev.get("pid"), ev.get("tid"))
+        if ph == PH_BEGIN:
+            depth[lane] += 1
+        elif ph == PH_END:
+            depth[lane] -= 1
+    dropped = ((doc.get("otherData") or {}).get("dropped_events", 0)
+               if isinstance(doc.get("otherData"), dict) else 0)
+    if not dropped:
+        open_lanes = {lane: n for lane, n in depth.items() if n}
+        if open_lanes:
+            raise ValueError(f"unbalanced B/E events on lanes {open_lanes}")
+    return len(events)

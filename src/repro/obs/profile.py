@@ -1,0 +1,138 @@
+"""Per-site, per-line, and per-service miss profiles.
+
+:class:`MissProfile` aggregates a :class:`~repro.obs.tracer.Tracer`'s
+counters into the three reports the paper's analysis needs:
+
+* **hot sites** — the top-N program-counter sites by OS-mode read
+  misses, each with its miss-kind breakdown and stall cycles; this
+  mirrors Table 6, which ranks the 12 hottest miss sites of the kernel
+  (five loops, seven sequences).
+* **hot lines/pages** — the most-missed cache lines and pages, with the
+  symbol (kernel data structure) each address falls in when the trace
+  carries a symbol map.
+* **services** — misses joined to the synthetic kernel's service
+  annotations (page fault, process creation, file I/O, scheduling, ...)
+  through :func:`repro.synthetic.services.service_of_pc`.
+
+The profile reads only the tracer's exact accumulators, so it is immune
+to the event-list cap.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Optional, Tuple
+
+from repro.obs.events import MISS_KINDS
+from repro.obs.tracer import Tracer
+
+
+class SiteRow:
+    """One program-counter site of the hot-site ranking."""
+
+    __slots__ = ("pc", "name", "os_misses", "total_misses", "stall",
+                 "kinds")
+
+    def __init__(self, pc: int, name: str, os_misses: int,
+                 total_misses: int, stall: int, kinds: Counter) -> None:
+        self.pc = pc
+        self.name = name
+        self.os_misses = os_misses
+        self.total_misses = total_misses
+        self.stall = stall
+        self.kinds = kinds
+
+
+def _block_name(pc: int) -> Optional[str]:
+    from repro.synthetic.layout import BLOCK_CODE_BYTES, KERNEL_PC
+    for name, base in KERNEL_PC.items():
+        if base <= pc < base + BLOCK_CODE_BYTES:
+            return name
+    return None
+
+
+class MissProfile:
+    """Snapshot of a tracer's miss statistics, with renderers."""
+
+    def __init__(self, tracer: Tracer) -> None:
+        self.tracer = tracer
+        self.read_misses = tracer.read_misses
+        self.site_kinds = {pc: Counter(c)
+                           for pc, c in tracer.site_kinds.items()}
+        self.site_os = Counter(tracer.site_os)
+        self.site_stall = Counter(tracer.site_stall)
+        self.line_misses = Counter(tracer.line_misses)
+        self.page_misses = Counter(tracer.page_misses)
+        self.symbols = tracer.symbols
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def top_sites(self, n: int = 12) -> List[SiteRow]:
+        """The *n* hottest sites by OS-mode read misses (Table 6 shape)."""
+        rows = []
+        for pc, os_misses in self.site_os.most_common(n):
+            kinds = self.site_kinds.get(pc, Counter())
+            rows.append(SiteRow(pc, _block_name(pc) or f"{pc:#x}",
+                                os_misses, sum(kinds.values()),
+                                self.site_stall.get(pc, 0), kinds))
+        return rows
+
+    def services(self) -> "List[Tuple[str, int]]":
+        """OS-mode misses per kernel service, descending."""
+        from repro.synthetic.services import service_of_pc
+        per_service: Counter = Counter()
+        for pc, count in self.site_os.items():
+            per_service[service_of_pc(pc) or "unattributed"] += count
+        return per_service.most_common()
+
+    def _symbol_name(self, addr: int) -> str:
+        if self.symbols is not None:
+            sym = self.symbols.lookup(addr)
+            if sym is not None:
+                return sym.name
+        return "?"
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render_sites(self, n: int = 12) -> str:
+        rows = self.top_sites(n)
+        lines = [f"hot miss sites (top {len(rows)} by OS read misses; "
+                 f"{self.read_misses:,} read misses total)",
+                 f"{'site':<18} {'os':>8} {'all':>8} {'stall cy':>10}  "
+                 f"kinds"]
+        for row in rows:
+            kinds = ", ".join(f"{k} {row.kinds[k]}" for k in MISS_KINDS
+                              if row.kinds.get(k))
+            lines.append(f"{row.name:<18} {row.os_misses:>8,} "
+                         f"{row.total_misses:>8,} {row.stall:>10,}  "
+                         f"{kinds}")
+        return "\n".join(lines)
+
+    def render_services(self) -> str:
+        rows = self.services()
+        total = sum(n for _s, n in rows) or 1
+        lines = ["OS read misses by kernel service"]
+        for service, count in rows:
+            lines.append(f"{service:<18} {count:>8,}  "
+                         f"{count / total:>6.1%}")
+        return "\n".join(lines)
+
+    def render_lines(self, n: int = 10) -> str:
+        lines = [f"hot lines (top {n})",
+                 f"{'line':>12} {'misses':>8}  symbol"]
+        for addr, count in self.line_misses.most_common(n):
+            lines.append(f"{addr:>#12x} {count:>8,}  "
+                         f"{self._symbol_name(addr)}")
+        lines.append("")
+        lines.append(f"hot pages (top {n})")
+        lines.append(f"{'page':>12} {'misses':>8}  symbol")
+        for addr, count in self.page_misses.most_common(n):
+            lines.append(f"{addr:>#12x} {count:>8,}  "
+                         f"{self._symbol_name(addr)}")
+        return "\n".join(lines)
+
+    def render(self, n: int = 12) -> str:
+        return "\n\n".join([self.render_sites(n), self.render_services(),
+                            self.render_lines(min(n, 10))])

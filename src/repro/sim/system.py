@@ -83,6 +83,11 @@ class MultiprocessorSystem:
         #: entry while it is actually spinning, so the common case (nobody
         #: contended recently) is an empty dict, cleared by a truth test.
         self._spin_retries: dict = {}
+        #: Event tracer (:mod:`repro.obs`), None unless armed via
+        #: :func:`repro.obs.tracer.attach_tracer`.  Like the checker, it
+        #: wraps miss-path methods per instance, so the disabled case
+        #: costs nothing on the hot path.
+        self.tracer = None
         #: Conformance checker (repro.check), None unless requested via
         #: the ``check`` argument or the REPRO_CHECK environment variable.
         #: Attaching wraps the per-CPU access paths, so the disabled case
@@ -203,8 +208,17 @@ class MultiprocessorSystem:
 def simulate(trace: Trace, config: SystemConfig,
              update_pages: Optional[Iterable[int]] = None,
              hotspot_pcs: Optional[Iterable[int]] = None,
-             check: Optional[bool] = None) -> SystemMetrics:
-    """Convenience wrapper: build a system, run it, return the metrics."""
+             check: Optional[bool] = None,
+             tracer=None) -> SystemMetrics:
+    """Convenience wrapper: build a system, run it, return the metrics.
+
+    *tracer* is an optional :class:`repro.obs.tracer.Tracer` to arm the
+    system with before running (the caller keeps the reference and reads
+    its events/profile afterwards).
+    """
     system = MultiprocessorSystem(trace, config, update_pages, hotspot_pcs,
                                   check=check)
+    if tracer is not None:
+        from repro.obs.tracer import attach_tracer
+        attach_tracer(system, tracer)
     return system.run()

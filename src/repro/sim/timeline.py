@@ -9,13 +9,22 @@ be inspected directly.
 
 This is a development tool: recording every step of a full workload would
 be enormous, so the recorder keeps only the first ``limit`` events.
+
+Instrumentation contract: attaching wraps each ``proc.step`` on the
+instance and **restores it** when :meth:`TimelineRecorder.run` completes
+(or on an explicit :meth:`TimelineRecorder.detach`), so a system can be
+recorded, re-run, and re-recorded without stacking wrappers.  Attaching
+a second recorder to an already-instrumented system raises
+:class:`~repro.common.errors.SimulationError` instead of silently
+double-counting every step.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
+from repro.common.errors import SimulationError
 from repro.common.types import Op
 from repro.sim.processor import ProcStatus
 from repro.sim.system import MultiprocessorSystem
@@ -40,11 +49,22 @@ class TimelineRecorder:
         self.system = system
         self.limit = limit
         self.events: List[TimelineEvent] = []
+        #: cpu_id -> (had instance attr, previous step, our wrapper);
+        #: emptied by detach().
+        self._originals: Dict[int, Tuple[bool, object, object]] = {}
         self._instrument()
 
     def _instrument(self) -> None:
+        if self._originals:
+            raise SimulationError("TimelineRecorder is already attached")
+        for proc in self.system.processors:
+            if getattr(proc.step, "_timeline_wrapper", False):
+                raise SimulationError(
+                    f"cpu {proc.cpu_id} is already instrumented by "
+                    f"another TimelineRecorder; detach it first")
         for proc in self.system.processors:
             original_step = proc.step
+            had_instance_attr = "step" in proc.__dict__
 
             def step(proc=proc, original_step=original_step):
                 start = proc.time
@@ -58,11 +78,37 @@ class TimelineRecorder:
                         status=result.status.value))
                 return result
 
+            step._timeline_wrapper = True
+            self._originals[proc.cpu_id] = (had_instance_attr,
+                                            original_step, step)
             proc.step = step
 
+    def detach(self) -> None:
+        """Restore every wrapped ``proc.step``; idempotent.
+
+        A ``step`` that was re-monkeypatched *on top of* our wrapper
+        (e.g. by a test) is left alone — restoring underneath it would
+        silently discard that wrapper.
+        """
+        for proc in self.system.processors:
+            entry = self._originals.pop(proc.cpu_id, None)
+            if entry is None:
+                continue
+            had_instance_attr, original_step, wrapper = entry
+            if proc.__dict__.get("step") is not wrapper:
+                continue
+            if had_instance_attr:
+                proc.step = original_step
+            else:
+                del proc.__dict__["step"]
+        self._originals.clear()
+
     def run(self):
-        """Run the wrapped system; returns its metrics."""
-        return self.system.run()
+        """Run the wrapped system; detaches the wrappers on the way out."""
+        try:
+            return self.system.run()
+        finally:
+            self.detach()
 
     def events_for(self, cpu: int) -> List[TimelineEvent]:
         return [e for e in self.events if e.cpu == cpu]
@@ -90,6 +136,10 @@ def render_timeline(recorder: TimelineRecorder, width: int = 72,
     ``[``/``]`` bracket block operations; ``.`` is unattributed time —
     stalls and waits).
     """
+    # Function-level import: the analysis package init is heavy and this
+    # sim-layer module must stay importable without it.
+    from repro.analysis.timeline_view import bucket_span
+
     window = recorder.window()
     if window is None:
         return "(no events recorded)"
@@ -103,11 +153,9 @@ def render_timeline(recorder: TimelineRecorder, width: int = 72,
         for event in recorder.events_for(cpu):
             if event.start >= start + span:
                 continue
-            lo = (event.start - start) * width // span
-            hi = max(lo + 1, (min(event.end, start + span) - start)
-                     * width // span)
+            lo, hi = bucket_span(event.start, event.end, start, span, width)
             glyph = _LANE_GLYPH.get(event.op, "?")
-            for col in range(lo, min(hi, width)):
+            for col in range(lo, hi):
                 lane[col] = glyph
         lanes.append(f"cpu{cpu} |{''.join(lane)}|")
     header = (f"timeline: cycles {start:,}..{start + span:,} "

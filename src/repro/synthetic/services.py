@@ -13,6 +13,8 @@ loops, seven sequences) are exactly the blocks the paper lists.
 
 from __future__ import annotations
 
+from typing import Dict, Optional
+
 from repro.common.types import DataClass, Mode
 from repro.synthetic import layout as lay
 from repro.synthetic.kernel import Kernel, Process
@@ -338,3 +340,61 @@ def signal_delivery(k: Kernel, cpu: int, proc: Process) -> None:
                  src_dclass=DataClass.PROC_TABLE,
                  dst_dclass=DataClass.PAGE_FRAME, block="trap_syscall_seq")
     k.bump_counter(cpu, "v_trap", block="trap_syscall_seq")
+
+
+# ----------------------------------------------------------------------
+# Service attribution (observability: repro.obs joins miss sites to the
+# kernel service that issued them through this map).
+# ----------------------------------------------------------------------
+
+#: Kernel basic block -> owning service.  Blocks shared by several
+#: services are attributed to the one that dominates their miss traffic
+#: in the paper's workloads (e.g. ``pte_init_loop`` runs for both page
+#: faults and exec, but page-fault zero-fills dominate).
+SERVICE_OF_BLOCK: Dict[str, str] = {
+    "fault_entry": "page_fault", "fault_exit": "page_fault",
+    "pte_init_loop": "page_fault",
+    "pte_copy_loop": "process_create", "fork_entry": "process_create",
+    "exec_entry": "exec",
+    "io_entry": "file_io", "io_copyloop": "file_io",
+    "bcopy": "block_ops", "bzero": "block_ops",
+    "trap_syscall_seq": "syscall", "syscall_entry": "syscall",
+    "ctxsw_seq": "scheduling", "resume_seq": "scheduling",
+    "sched_seq": "scheduling",
+    "timer_seq": "timer",
+    "intr_seq": "interrupt",
+    "pte_scan_loop": "paging", "pageout_code": "paging",
+    "freelist_walk": "paging",
+    "pte_unmap_loop": "process_exit", "exit_seq": "process_exit",
+    "lock_code": "synchronization", "barrier_code": "synchronization",
+    "counter_code": "synchronization",
+    "idle_loop": "idle",
+    "pipe_code": "pipe",
+    "namei_code": "filesystem", "select_code": "filesystem",
+}
+
+
+def service_of_block(block: str) -> Optional[str]:
+    """Owning service of kernel basic block *block* (None if unmapped)."""
+    service = SERVICE_OF_BLOCK.get(block)
+    if service is not None:
+        return service
+    if block.startswith("kmisc_"):
+        return "kernel_misc"
+    return None
+
+
+def service_of_pc(pc: int) -> Optional[str]:
+    """Owning service of the basic block containing *pc*.
+
+    Returns ``"user"`` for pcs in the user code region and ``None`` for
+    pcs outside the synthetic kernel's code segment entirely.
+    """
+    if pc >= lay.USER_CODE_BASE:
+        return "user"
+    if pc < lay.OS_CODE_BASE:
+        return None
+    idx = (pc - lay.OS_CODE_BASE) // lay.BLOCK_CODE_BYTES
+    if idx >= len(lay.KERNEL_BLOCKS):
+        return None
+    return service_of_block(lay.KERNEL_BLOCKS[idx])

@@ -85,3 +85,69 @@ def test_metrics_unaffected_by_recording():
     recorded = recorder.run()
     assert recorded.makespan == plain.makespan
     assert recorded.os_read_misses() == plain.os_read_misses()
+
+
+def test_run_detaches_wrappers():
+    system = small_system()
+    recorder = TimelineRecorder(system)
+    assert all(getattr(p.step, "_timeline_wrapper", False)
+               for p in system.processors)
+    recorder.run()
+    # run() restored the class method on every processor: no instance
+    # attribute left behind, no wrapper marker.
+    for proc in system.processors:
+        assert "step" not in proc.__dict__
+        assert not getattr(proc.step, "_timeline_wrapper", False)
+
+
+def test_detach_is_idempotent():
+    system = small_system()
+    recorder = TimelineRecorder(system)
+    recorder.detach()
+    recorder.detach()
+    for proc in system.processors:
+        assert "step" not in proc.__dict__
+
+
+def test_double_attach_raises():
+    from repro.common.errors import SimulationError
+    system = small_system()
+    recorder = TimelineRecorder(system)
+    with pytest.raises(SimulationError):
+        TimelineRecorder(system)
+    # The failed attach must not have clobbered the first recorder.
+    recorder.run()
+    assert recorder.events
+
+
+def test_reattach_after_detach_records_fresh():
+    system = small_system()
+    first = TimelineRecorder(system, limit=5)
+    first.run()
+    # A second recorder on the *same* (finished) system attaches cleanly
+    # and wraps exactly once; with the streams done it records nothing.
+    second = TimelineRecorder(system, limit=5)
+    second.run()
+    assert len(first.events) == 5
+    assert second.events == []
+    # And on a fresh system the full record/replay cycle works again.
+    third = TimelineRecorder(small_system(), limit=5)
+    third.run()
+    assert len(third.events) == 5
+
+
+def test_detach_leaves_stacked_wrapper_alone():
+    system = small_system()
+    recorder = TimelineRecorder(system)
+    proc = system.processors[0]
+    stacked = proc.step
+
+    def on_top():
+        return stacked()
+
+    proc.step = on_top
+    recorder.detach()
+    # Our wrapper was not restored underneath the test's monkeypatch...
+    assert proc.__dict__["step"] is on_top
+    # ...but every other CPU was restored normally.
+    assert "step" not in system.processors[1].__dict__
