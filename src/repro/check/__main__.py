@@ -17,6 +17,13 @@ Modes::
         shrunk, saved, and re-verified by replay.  Exit 1 if any mutant
         survives.
 
+    python -m repro.check --profiles --samples 20 --seed 0 --scale 0.04
+        Generated-workload conformance: sample seeded random workloads
+        from the profile sweep generator (repro.synthetic.generator) and
+        run each full synthetic-kernel trace under all eight schemes
+        with the oracle + invariant checker armed.  Failing traces are
+        saved for ``--replay``.  Exit 1 on any failure.
+
     python -m repro.check --replay failure.txt
         Re-run a saved failing trace exactly as recorded (configuration,
         Firefly update pages, and active mutant come from the trace
@@ -112,6 +119,37 @@ def cmd_mutants(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profiles(args: argparse.Namespace) -> int:
+    configs = ([c.strip() for c in args.configs.split(",") if c.strip()]
+               or None)
+    families = ([f.strip() for f in args.families.split(",") if f.strip()]
+                or None)
+    progress = None
+    if not args.quiet:
+        def progress(done: int, name: str) -> None:
+            print(f"  {done}/{args.samples} clean (last: {name})")
+    print(f"profile fuzz: {args.samples} generated workloads, "
+          f"seed {args.seed}, scale {args.scale}, configs: "
+          f"{','.join(configs or fuzz.fuzz_configs())}")
+    failure = fuzz.run_profile_fuzz(args.samples, seed=args.seed,
+                                    configs=configs, scale=args.scale,
+                                    families=families, progress=progress)
+    if failure is None:
+        print(f"OK: {args.samples} generated workloads conformant "
+              "under every scheme")
+        return 0
+    print(f"FAIL [{failure.error.kind}] workload={failure.workload_name} "
+          f"config={failure.config_name}: {failure.error}")
+    os.makedirs(args.out_dir, exist_ok=True)
+    stem = failure.workload_name.replace(":", "_")
+    path = os.path.join(args.out_dir,
+                        f"profile-{stem}-{failure.config_name}.txt")
+    fuzz.save_profile_failure(failure, path)
+    print(f"failing trace -> {path}")
+    print(f"replay with:  python -m repro.check --replay {path}")
+    return 1
+
+
 def cmd_replay(args: argparse.Namespace) -> int:
     result = fuzz.replay(args.replay)
     if result.error is None:
@@ -137,6 +175,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="comma-separated scheme names (default: all)")
     parser.add_argument("--mutants", action="store_true",
                         help="check that every protocol mutant is caught")
+    parser.add_argument("--profiles", action="store_true",
+                        help="fuzz generated synthetic workloads from the "
+                             "profile sweep generator instead of "
+                             "adversarial micro-traces")
+    parser.add_argument("--samples", type=int, default=20,
+                        help="generated workloads for --profiles "
+                             "(default 20)")
+    parser.add_argument("--scale", type=float, default=0.04,
+                        help="workload scale for --profiles (default 0.04)")
+    parser.add_argument("--families", default="",
+                        help="comma-separated profile families for "
+                             "--profiles (default: all sweepable)")
     parser.add_argument("--replay", default="",
                         help="re-run a saved failing trace")
     parser.add_argument("--out-dir", default="check-failures",
@@ -147,6 +197,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_replay(args)
     if args.mutants:
         return cmd_mutants(args)
+    if args.profiles:
+        return cmd_profiles(args)
     return cmd_fuzz(args)
 
 

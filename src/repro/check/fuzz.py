@@ -352,6 +352,96 @@ def run_fuzz(rounds: int, seed: int, configs: Optional[List[str]] = None,
 
 
 # ======================================================================
+# Profile-driven fuzzing: generated synthetic workloads
+# ======================================================================
+class ProfileFailure:
+    """A conformance violation on a generated workload.
+
+    Carries the self-describing workload name (enough to regenerate the
+    trace from scratch) plus the trace that failed, for saving.
+    """
+
+    __slots__ = ("workload_name", "config_name", "error", "trace")
+
+    def __init__(self, workload_name: str, config_name: str,
+                 error: ConformanceError, trace: Trace) -> None:
+        self.workload_name = workload_name
+        self.config_name = config_name
+        self.error = error
+        self.trace = trace
+
+
+def _workload_machine(num_cpus: int):
+    """The Base machine, widened when a generated trace needs more CPUs."""
+    import dataclasses
+
+    from repro.common.params import BASE_MACHINE
+    if num_cpus <= BASE_MACHINE.num_cpus:
+        return BASE_MACHINE
+    return dataclasses.replace(BASE_MACHINE, num_cpus=num_cpus)
+
+
+def run_workload_trace(trace: Trace, config_name: str) -> CaseResult:
+    """Checked simulation of a synthetic-workload trace.
+
+    Unlike :func:`run_trace` the Firefly update pages come from the
+    kernel layout (the SYNC_PAGE holding barriers, locks and the shared
+    core), and the machine widens to the trace's CPU count.  No final
+    architectural memory is collected: generated workloads contain
+    genuine data races, so cross-scheme memory diffs do not apply — the
+    oracle and invariant checker run throughout instead.
+    """
+    from repro.sim.system import MultiprocessorSystem
+    from repro.synthetic.layout import SYNC_PAGE
+    machine = _workload_machine(trace.num_cpus)
+    config = standard_configs(machine)[config_name]
+    system = MultiprocessorSystem(trace, config, update_pages=[SYNC_PAGE],
+                                  check=True)
+    try:
+        system.run()
+    except ConformanceError as err:
+        return CaseResult(err, None, system.checker.accesses_checked)
+    return CaseResult(None, None, system.checker.accesses_checked)
+
+
+def run_profile_fuzz(samples: int, seed: int = 0,
+                     configs: Optional[List[str]] = None,
+                     scale: float = 0.04,
+                     families: Optional[List[str]] = None,
+                     progress: Optional[Callable[[int, str], None]] = None,
+                     ) -> Optional[ProfileFailure]:
+    """Sample *samples* generated workloads; run each under every scheme.
+
+    Workloads come from :func:`repro.synthetic.generator.sample` —
+    coverage-first over (family, intensity, pattern) points — and each
+    trace runs under all *configs* with the oracle + invariant checker
+    armed.  Returns the first failure, if any.
+    """
+    from repro.synthetic import generator
+    from repro.synthetic.layout import SYNC_PAGE
+    configs = configs or fuzz_configs()
+    workloads = generator.sample(samples, seed=seed, families=families)
+    for i, workload in enumerate(workloads):
+        trace = workload.generate(scale=scale)
+        for config_name in configs:
+            result = run_workload_trace(trace, config_name)
+            if result.error is not None:
+                trace.metadata[META_CONFIG] = config_name
+                trace.metadata[META_UPDATE_PAGES] = [SYNC_PAGE]
+                return ProfileFailure(workload.name, config_name,
+                                      result.error, trace)
+        if progress is not None:
+            progress(i + 1, workload.name)
+    return None
+
+
+def save_profile_failure(failure: ProfileFailure, path: str) -> None:
+    """Serialize the failing workload trace for ``--replay``."""
+    with open(path, "w") as fp:
+        textio.dump(failure.trace, fp)
+
+
+# ======================================================================
 # Shrinking
 # ======================================================================
 def _candidates(case: FuzzCase) -> Iterator[tuple]:
@@ -487,7 +577,7 @@ def replay(path: str) -> CaseResult:
     config_name = str(trace.metadata.get(META_CONFIG, "Base"))
     mutant_name = str(trace.metadata.get(META_MUTANT, ""))
     pages = trace.metadata.get(META_UPDATE_PAGES, [UPDATE_PAGE])
-    config = standard_configs()[config_name]
+    config = standard_configs(_workload_machine(trace.num_cpus))[config_name]
     ctx = (MUTANTS[mutant_name][0]() if mutant_name
            else contextlib.nullcontext())
     with ctx:

@@ -2,16 +2,25 @@
 
 Subcommands::
 
-    repro generate  <workload> -o trace.npz [--scale S] [--seed N] [--text]
+    repro generate  <profile> -o trace.npz [--scale S] [--seed N] [--text]
+                    [--profile-spec FILE] [--frame-policy P]
     repro inspect   <trace.npz|.txt>
-    repro simulate  <workload|trace file> [--config Base] [--scale S]
+    repro simulate  <profile|trace file> [--config Base] [--scale S]
+                    [--profile-spec FILE] [--frame-policy P]
                     [--check] [--trace-out t.json] [--trace-limit N]
                     [--profile] [--timeline]
+    repro sweep     [--samples N] [--families F1,F2] [--configs C1,C2]
+                    [--scale S] [--seed N] [--cpus 2,4] [--workers N]
     repro report    [--scale S] [--only table1,figure3] [--ascii] [-o FILE]
                     [--workers N] [--cache-dir DIR] [--no-cache]
                     [--ledger PATH] [--max-retries N] [--job-timeout S]
     repro ablation  <study> [--workload W] [--scale S] [--cache-dir DIR]
     repro calibrate [--scale S] [--only table2]
+
+``generate``/``simulate``/``sweep`` accept any workload-profile name: the
+four paper workloads, the built-in families (``server``, ``bursty_mp``,
+``gang_diurnal``), self-describing ``gen:...`` sweep names, or a custom
+spec file via ``--profile-spec`` (see docs/workloads.md).
 
 Run as ``python -m repro.cli`` (or the module functions directly).
 """
@@ -23,11 +32,14 @@ import os
 import sys
 from typing import List, Optional
 
+from repro.common.errors import ProfileError
 from repro.common.types import Mode
 from repro.experiments.artifacts import DEFAULT_CACHE_DIR
 from repro.sim.config import standard_configs
 from repro.sim.system import simulate
-from repro.synthetic.workloads import WORKLOAD_ORDER, generate
+from repro.synthetic.profiles import (PROFILE_ORDER, available_profiles,
+                                      generate, load_profile,
+                                      register_profile)
 from repro.trace import npzio, textio
 from repro.trace.stream import Trace
 
@@ -47,10 +59,59 @@ def _save_trace(trace: Trace, path: str, text: bool) -> None:
         npzio.save(trace, path)
 
 
+def _machine_for(num_cpus: int):
+    """The Base machine, widened when a trace needs more CPUs."""
+    import dataclasses
+
+    from repro.common.params import BASE_MACHINE
+    if num_cpus <= BASE_MACHINE.num_cpus:
+        return BASE_MACHINE
+    return dataclasses.replace(BASE_MACHINE, num_cpus=num_cpus)
+
+
+def _resolve_workload(args: argparse.Namespace) -> Optional[str]:
+    """The workload name to generate, after loading any ``--profile-spec``.
+
+    Returns ``None`` (having printed the error) when the name cannot be
+    resolved, so callers can exit with status 2.
+    """
+    name = args.workload
+    if getattr(args, "profile_spec", ""):
+        try:
+            profile = register_profile(load_profile(args.profile_spec))
+        except ProfileError as err:
+            print(f"bad --profile-spec: {err}", file=sys.stderr)
+            return None
+        if not name:
+            name = profile.name
+        elif name != profile.name:
+            print(f"--profile-spec defines {profile.name!r} but "
+                  f"{name!r} was requested", file=sys.stderr)
+            return None
+    if not name:
+        print("no workload given (name argument or --profile-spec)",
+              file=sys.stderr)
+        return None
+    from repro.synthetic.profiles import get_profile
+    try:
+        get_profile(name)
+    except (KeyError, ProfileError):
+        print(f"unknown workload {name!r}; available profiles: "
+              f"{', '.join(available_profiles())} "
+              "(or a gen:... sweep name, or --profile-spec FILE)",
+              file=sys.stderr)
+        return None
+    return name
+
+
 def cmd_generate(args: argparse.Namespace) -> int:
-    trace = generate(args.workload, seed=args.seed, scale=args.scale)
+    name = _resolve_workload(args)
+    if name is None:
+        return 2
+    trace = generate(name, seed=args.seed, scale=args.scale,
+                     frame_policy=args.frame_policy)
     _save_trace(trace, args.output, args.text)
-    print(f"{args.workload}: {len(trace):,} records, "
+    print(f"{name}: {len(trace):,} records, "
           f"{len(trace.blockops)} block ops -> {args.output}")
     return 0
 
@@ -66,11 +127,17 @@ def cmd_inspect(args: argparse.Namespace) -> int:
 
 def cmd_simulate(args: argparse.Namespace) -> int:
     from repro.common.errors import ConformanceError
-    if args.input in WORKLOAD_ORDER:
-        trace = generate(args.input, seed=args.seed, scale=args.scale)
-    else:
+    if os.path.exists(args.input) and not args.profile_spec:
         trace = _load_trace(args.input)
-    configs = standard_configs()
+    else:
+        args.workload = args.input
+        name = _resolve_workload(args)
+        if name is None:
+            return 2
+        trace = generate(name, seed=args.seed, scale=args.scale,
+                         frame_policy=args.frame_policy)
+    machine = _machine_for(trace.num_cpus)
+    configs = standard_configs(machine)
     if args.config not in configs:
         print(f"unknown config {args.config!r}; choose from "
               f"{list(configs)}", file=sys.stderr)
@@ -115,6 +182,68 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             from repro.analysis.timeline_view import render_miss_timeline
             print()
             print(render_miss_timeline(tracer))
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Generate a seeded batch of random workloads and simulate them."""
+    from repro.experiments.artifacts import ArtifactCache
+    from repro.experiments.runner import ExperimentRunner
+    from repro.synthetic import generator
+
+    families = tuple(f.strip() for f in args.families.split(",")
+                     if f.strip()) or generator.SWEEP_FAMILIES
+    cpus = tuple(int(c) for c in args.cpus.split(",") if c.strip()) or (4,)
+    intensities = tuple(float(v) for v in args.intensities.split(",")
+                        if v.strip()) or (0.6, 1.0)
+    patterns = tuple(p.strip() for p in args.patterns.split(",")
+                     if p.strip()) or None
+    try:
+        workloads = generator.sample(
+            args.samples, seed=args.seed, families=families,
+            num_cpus=cpus, intensities=intensities,
+            **({"patterns": patterns} if patterns else {}))
+    except ProfileError as err:
+        print(f"bad sweep: {err}", file=sys.stderr)
+        return 2
+    config_names = [c.strip() for c in args.configs.split(",") if c.strip()]
+    machine = _machine_for(max(cpus))
+    configs = standard_configs(machine)
+    unknown = [c for c in config_names if c not in configs]
+    if unknown:
+        print(f"unknown configs {unknown}; choose from {list(configs)}",
+              file=sys.stderr)
+        return 2
+    cache = None if args.no_cache else ArtifactCache(args.cache_dir)
+    runner = ExperimentRunner(scale=args.scale, seed=args.seed,
+                              machine=machine, cache=cache,
+                              workers=args.workers)
+    print(f"sweep: {len(workloads)} workloads x {len(config_names)} "
+          f"configs at scale {args.scale} (seed {args.seed})")
+    cells = [(w.name, c, None) for w in workloads for c in config_names]
+    runner.run_cells(cells, verbose=not args.quiet)
+    name_w = max(len(w.name) for w in workloads)
+    header = (f"{'workload':<{name_w}}  {'config':<10}  "
+              f"{'OS time':>12}  {'OS misses':>10}  {'miss rate':>9}")
+    lines = [header, "-" * len(header)]
+    for w in workloads:
+        base_total = None
+        for config_name in config_names:
+            metrics = runner.run(w.name, config_name)
+            total = metrics.os_time().total
+            if base_total is None:
+                base_total = total
+            rel = (f"  ({total / base_total:.2f}x)"
+                   if config_name != config_names[0] and base_total else "")
+            lines.append(
+                f"{w.name:<{name_w}}  {config_name:<10}  {total:>12,}  "
+                f"{metrics.os_read_misses():>10,}  "
+                f"{metrics.data_miss_rate():>8.2%}{rel}")
+    report = "\n".join(lines)
+    print(report)
+    if args.output:
+        with open(args.output, "w") as fp:
+            fp.write(report + "\n")
     return 0
 
 
@@ -174,10 +303,20 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("generate", help="generate a workload trace")
-    p.add_argument("workload", choices=WORKLOAD_ORDER)
+    p.add_argument("workload", nargs="?", default="",
+                   help="profile name (paper workload, built-in family, "
+                        "or gen:... sweep name); optional with "
+                        "--profile-spec")
     p.add_argument("-o", "--output", required=True)
     p.add_argument("--scale", type=float, default=0.5)
     p.add_argument("--seed", type=int, default=1996)
+    p.add_argument("--profile-spec", default="",
+                   help="load a custom workload profile from this "
+                        "JSON/YAML spec file")
+    p.add_argument("--frame-policy", default="default",
+                   choices=["default", "colored"],
+                   help="physical frame allocation policy "
+                        "(default: 'default')")
     p.add_argument("--text", action="store_true",
                    help="write the text format instead of .npz")
     p.set_defaults(fn=cmd_generate)
@@ -187,10 +326,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_inspect)
 
     p = sub.add_parser("simulate", help="simulate a workload or trace file")
-    p.add_argument("input", help="workload name or trace path")
+    p.add_argument("input", nargs="?", default="",
+                   help="profile name (paper workload, built-in family, "
+                        "gen:... sweep name) or trace file path")
     p.add_argument("--config", default="Base")
     p.add_argument("--scale", type=float, default=0.25)
     p.add_argument("--seed", type=int, default=1996)
+    p.add_argument("--profile-spec", default="",
+                   help="load a custom workload profile from this "
+                        "JSON/YAML spec file")
+    p.add_argument("--frame-policy", default="default",
+                   choices=["default", "colored"],
+                   help="frame allocation policy for generated workloads")
     p.add_argument("--check", action="store_true",
                    help="run the coherence conformance checker "
                         "(reference oracle + MESI/Firefly invariants)")
@@ -206,6 +353,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--timeline", action="store_true",
                    help="print an ASCII miss/bus density timeline")
     p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser("sweep",
+                       help="simulate a seeded batch of generated "
+                            "workloads (LITMUS-RT-style random sweep)")
+    p.add_argument("--samples", type=int, default=6,
+                   help="number of generated workloads (default 6)")
+    p.add_argument("--families", default="",
+                   help="comma-separated profile families "
+                        "(default: all sweepable families)")
+    p.add_argument("--configs", default="Base,Blk_Dma",
+                   help="comma-separated scheme names "
+                        "(default Base,Blk_Dma)")
+    p.add_argument("--scale", type=float, default=0.1)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--cpus", default="4",
+                   help="comma-separated CPU counts to sweep (default 4)")
+    p.add_argument("--intensities", default="0.6,1.0",
+                   help="comma-separated intensity levels in (0, 1]")
+    p.add_argument("--patterns", default="",
+                   help="comma-separated intensity patterns "
+                        "(default: steady,bursty,diurnal)")
+    p.add_argument("--workers", type=int, default=os.cpu_count(),
+                   help="parallel sweep processes (default: os.cpu_count())")
+    p.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                   help="on-disk artifact cache directory "
+                        f"(default {DEFAULT_CACHE_DIR!r})")
+    p.add_argument("--no-cache", action="store_true",
+                   help="do not persist traces/artifacts on disk")
+    p.add_argument("-o", "--output", default="")
+    p.add_argument("-q", "--quiet", action="store_true")
+    p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser("report", help="regenerate tables and figures")
     p.add_argument("--scale", type=float, default=0.5)
@@ -235,7 +413,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("ablation", help="run a design-choice study")
     p.add_argument("study")
-    p.add_argument("--workload", default="TRFD_4", choices=WORKLOAD_ORDER)
+    p.add_argument("--workload", default="TRFD_4", choices=PROFILE_ORDER)
     p.add_argument("--scale", type=float, default=0.3)
     p.add_argument("--seed", type=int, default=1996)
     p.add_argument("--cache-dir", default="",

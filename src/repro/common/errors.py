@@ -64,6 +64,15 @@ class AnalysisError(ReproError):
     """An analysis pass received data it cannot interpret."""
 
 
+class ProfileError(ReproError):
+    """A workload profile spec is malformed.
+
+    Raised by :mod:`repro.synthetic.profiles` for unknown fields,
+    out-of-range rates, inconsistent size/weight lists, or spec files
+    that fail to parse.  The message names the offending field.
+    """
+
+
 class JobFailedError(ReproError):
     """A sweep job exhausted its retry budget (or failed unrecoverably).
 

@@ -46,7 +46,8 @@ from repro.optim.update_select import UpdateSelection, select_update_core
 from repro.sim.config import SystemConfig, standard_configs
 from repro.sim.metrics import SystemMetrics
 from repro.sim.system import simulate
-from repro.synthetic.workloads import WORKLOAD_ORDER, generate
+from repro.synthetic.profiles import generate
+from repro.synthetic.workloads import WORKLOAD_ORDER
 from repro.trace.stream import Trace
 
 #: Number of hot spots the paper selects (section 6).

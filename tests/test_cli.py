@@ -73,3 +73,88 @@ def test_ablation_write_buffer(capsys):
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         main([])
+
+
+# ======================================================================
+# Workload profiles through the CLI
+# ======================================================================
+def test_generate_unknown_profile_lists_available(tmp_path, capsys):
+    assert main(["generate", "bogus", "-o", str(tmp_path / "x.npz")]) == 2
+    err = capsys.readouterr().err
+    assert "unknown workload 'bogus'" in err
+    assert "server" in err and "Shell" in err and "--profile-spec" in err
+
+
+def test_generate_builtin_family(tmp_path, capsys):
+    out = tmp_path / "server.npz"
+    assert main(["generate", "server", "-o", str(out),
+                 "--scale", "0.05", "--seed", "3"]) == 0
+    assert out.exists()
+    assert "server" in capsys.readouterr().out
+
+
+def test_generate_gen_name_and_frame_policy(tmp_path):
+    out = tmp_path / "g.npz"
+    assert main(["generate", "gen:server:c4:i060:steady:0:0", "-o",
+                 str(out), "--scale", "0.04",
+                 "--frame-policy", "colored"]) == 0
+    from repro.trace import npzio
+    trace = npzio.load(str(out))
+    assert trace.metadata["frame_policy"] == "colored"
+    assert trace.metadata["workload"] == "gen:server:c4:i060:steady:0:0"
+
+
+def test_generate_profile_spec(tmp_path, capsys):
+    spec = tmp_path / "spec.json"
+    spec.write_text('{"name": "cli-spec", "app": "fsck", "rounds": 12}')
+    out = tmp_path / "spec.npz"
+    assert main(["generate", "--profile-spec", str(spec), "-o", str(out),
+                 "--scale", "0.3"]) == 0
+    assert "cli-spec" in capsys.readouterr().out
+    assert main(["generate", "othername", "--profile-spec", str(spec),
+                 "-o", str(out)]) == 2
+    assert "defines 'cli-spec'" in capsys.readouterr().err
+
+
+def test_generate_bad_profile_spec(tmp_path, capsys):
+    spec = tmp_path / "bad.json"
+    spec.write_text('{"name": "x", "warp_prob": 2}')
+    assert main(["generate", "--profile-spec", str(spec),
+                 "-o", str(tmp_path / "x.npz")]) == 2
+    assert "bad --profile-spec" in capsys.readouterr().err
+
+
+def test_generate_requires_some_workload(tmp_path, capsys):
+    assert main(["generate", "-o", str(tmp_path / "x.npz")]) == 2
+    assert "no workload" in capsys.readouterr().err
+
+
+def test_simulate_profile_by_name(capsys):
+    assert main(["simulate", "bursty_mp", "--scale", "0.05",
+                 "--config", "Blk_Dma"]) == 0
+    assert "OS misses" in capsys.readouterr().out
+
+
+def test_simulate_unknown_profile(capsys):
+    assert main(["simulate", "not-a-profile", "--scale", "0.05"]) == 2
+    assert "unknown workload" in capsys.readouterr().err
+
+
+def test_sweep_smoke(tmp_path, capsys):
+    out = tmp_path / "sweep.txt"
+    assert main(["sweep", "--samples", "2", "--configs", "Base",
+                 "--scale", "0.04", "--workers", "1", "--no-cache",
+                 "-q", "-o", str(out)]) == 0
+    text = out.read_text()
+    assert "gen:" in text
+    assert "OS time" in capsys.readouterr().out
+
+
+def test_sweep_rejects_unknown_config(capsys):
+    assert main(["sweep", "--samples", "1", "--configs", "Warp"]) == 2
+    assert "unknown configs" in capsys.readouterr().err
+
+
+def test_sweep_rejects_unknown_family(capsys):
+    assert main(["sweep", "--samples", "1", "--families", "Shell"]) == 2
+    assert "bad sweep" in capsys.readouterr().err

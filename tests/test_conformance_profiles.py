@@ -1,0 +1,73 @@
+"""Conformance of generated workloads: oracle + invariants, all schemes.
+
+The profile sweep generator emits full synthetic-kernel traces the
+adversarial micro-trace fuzzer never covers (page faults, fork churn,
+file I/O through the buffer cache, network receives).  Every sampled
+workload must run clean under the reference memory oracle and the
+MESI/Firefly invariant checker for all eight scheme configurations —
+the pytest-shaped slice of ``python -m repro.check --profiles``.
+"""
+
+import pytest
+
+from repro.check import fuzz
+from repro.synthetic.generator import sample
+
+SCALE = 0.03
+
+CONFIGS = fuzz.fuzz_configs()
+
+
+@pytest.fixture(scope="module")
+def generated_traces():
+    return {w.name: w.generate(scale=SCALE) for w in sample(3, seed=0)}
+
+
+@pytest.mark.slow
+@pytest.mark.fuzz
+@pytest.mark.parametrize("config_name", CONFIGS)
+def test_generated_workloads_conformant(generated_traces, config_name):
+    for name, trace in generated_traces.items():
+        result = fuzz.run_workload_trace(trace, config_name)
+        assert result.ok, (f"{name} under {config_name}: "
+                           f"[{result.error.kind}] {result.error}")
+        assert result.accesses > 0
+
+
+@pytest.mark.slow
+@pytest.mark.fuzz
+def test_profile_fuzz_driver_runs_clean():
+    failure = fuzz.run_profile_fuzz(2, seed=3, configs=["Base", "Blk_Dma"],
+                                    scale=0.02)
+    assert failure is None
+
+
+@pytest.mark.slow
+@pytest.mark.fuzz
+def test_wide_trace_widens_machine():
+    """A >4-CPU generated workload must simulate (and check) cleanly on
+    a machine widened to its CPU count."""
+    workload = sample(1, seed=1, num_cpus=(6,), families=("bursty_mp",))[0]
+    trace = workload.generate(scale=0.02)
+    assert trace.num_cpus == 6
+    result = fuzz.run_workload_trace(trace, "Base")
+    assert result.ok, result.error
+
+
+def test_saved_profile_failure_replays(tmp_path):
+    """save_profile_failure + --replay round-trip: the saved trace
+    re-runs under the recorded config and update pages."""
+    from repro.common.errors import ConformanceError
+    from repro.synthetic.layout import SYNC_PAGE
+    workload = sample(1, seed=2, num_cpus=(2,))[0]
+    trace = workload.generate(scale=0.02)
+    trace.metadata[fuzz.META_CONFIG] = "Blk_Dma"
+    trace.metadata[fuzz.META_UPDATE_PAGES] = [SYNC_PAGE]
+    failure = fuzz.ProfileFailure(workload.name, "Blk_Dma",
+                                  ConformanceError("synthetic", kind="x"),
+                                  trace)
+    path = tmp_path / "failure.txt"
+    fuzz.save_profile_failure(failure, str(path))
+    result = fuzz.replay(str(path))
+    assert result.error is None  # a conformant trace replays clean
+    assert result.accesses > 0

@@ -1,0 +1,100 @@
+"""Golden-value regression tests for the server workload family.
+
+Mirrors tests/test_golden_targets.py for the first new profile family:
+pins the exact simulator output of the ``server`` profile at
+``scale=0.25, seed=1996`` under Base and Blk_Dma, so refactors of the
+profile compiler, the service emitters, or the simulator cannot
+silently reshape the family.  The pipeline is deterministic
+integer/rational arithmetic: any drift is a behaviour change, not noise.
+
+If a change is *supposed* to alter these numbers, rerun the recording
+snippet and update GOLDEN in the same commit, explaining why::
+
+    PYTHONPATH=src python - <<'EOF'
+    from repro.experiments.runner import ExperimentRunner
+    r = ExperimentRunner(scale=0.25, seed=1996)
+    trace = r.trace("server")
+    print(len(trace), len(trace.blockops))
+    for c in ("Base", "Blk_Dma"):
+        m = r.run("server", c)
+        print(c, m.makespan, m.os_time().total, m.os_read_misses(),
+              m.data_miss_rate())
+    print(r.run("server", "Base").miss_kind_fractions())
+    EOF
+"""
+
+import pytest
+
+from repro.common.types import MissKind
+from repro.experiments.runner import ExperimentRunner
+
+SCALE = 0.25
+SEED = 1996
+
+#: Recorded at scale=0.25, seed=1996.
+GOLDEN = {
+    "trace": {"records": 82516, "blockops": 118},
+    "Base": {
+        "makespan": 494133,
+        "os_time": 1279896,
+        "os_misses": 8379,
+        "miss_rate": 0.20881350430124979,
+    },
+    "Blk_Dma": {
+        "makespan": 298954,
+        "os_time": 791713,
+        "os_misses": 2802,
+        "miss_rate": 0.1781800066423115,
+    },
+    "miss_fractions": {
+        MissKind.BLOCK_OP: 0.6623702112423917,
+        MissKind.COHERENCE: 0.02697219238572622,
+        MissKind.OTHER: 0.31065759637188206,
+    },
+    "time_ratio": 0.618576040553295,
+    "miss_ratio": 0.3344074471894021,
+}
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(scale=SCALE, seed=SEED)
+
+
+def test_server_trace_shape_pinned(runner):
+    trace = runner.trace("server")
+    assert len(trace) == GOLDEN["trace"]["records"]
+    assert len(trace.blockops) == GOLDEN["trace"]["blockops"]
+
+
+@pytest.mark.parametrize("config", ["Base", "Blk_Dma"])
+def test_server_metrics_pinned(runner, config):
+    metrics = runner.run("server", config)
+    expected = GOLDEN[config]
+    assert metrics.makespan == expected["makespan"], (
+        f"server/{config}: makespan drifted")
+    assert metrics.os_time().total == expected["os_time"], (
+        f"server/{config}: OS time drifted")
+    assert metrics.os_read_misses() == expected["os_misses"], (
+        f"server/{config}: OS miss count drifted")
+    assert metrics.data_miss_rate() == pytest.approx(
+        expected["miss_rate"], rel=1e-9)
+
+
+def test_server_base_miss_classification(runner):
+    fractions = runner.run("server", "Base").miss_kind_fractions()
+    for kind, expected in GOLDEN["miss_fractions"].items():
+        assert fractions[kind] == pytest.approx(expected, rel=1e-9), (
+            f"server: Base {kind.name} miss fraction drifted")
+
+
+def test_server_blk_dma_improves(runner):
+    """The qualitative claim under the pins: block-DMA helps the
+    FS-heavy server mix (most misses are block-op misses)."""
+    base = runner.run("server", "Base")
+    dma = runner.run("server", "Blk_Dma")
+    time_ratio = dma.os_time().total / base.os_time().total
+    miss_ratio = dma.os_read_misses() / base.os_read_misses()
+    assert time_ratio == pytest.approx(GOLDEN["time_ratio"], rel=1e-9)
+    assert miss_ratio == pytest.approx(GOLDEN["miss_ratio"], rel=1e-9)
+    assert miss_ratio < time_ratio < 1.0
