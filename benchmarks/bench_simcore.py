@@ -1,10 +1,20 @@
 #!/usr/bin/env python
 """Simulator-core throughput benchmark: the ``BENCH_simcore.json`` writer.
 
-Measures serial simulation throughput (trace records per second of
-:func:`repro.sim.system.simulate`) for every workload x scheme cell at one
-or more workload scales.  Trace generation happens outside the timer; each
-cell is simulated ``--repeats`` times and the best wall time is kept.
+Measures serial simulation throughput (trace records per second) for every
+workload x scheme cell at one or more workload scales, in **both**
+execution modes of the scheduler: the default batched mode
+(``batch=True``) and the scalar reference (``batch=False``).  Trace
+generation happens outside the timer; each mode of each cell is simulated
+``--repeats`` times and the best wall time is kept.
+
+Schema 2 cells carry the batched numbers under the schema-1 key names
+(``records_per_sec``/``normalized`` describe what a default ``simulate``
+call gets), plus ``scalar_records_per_sec``/``scalar_normalized``,
+``batch_speedup`` (batched over scalar records/sec), and
+``batch_coverage`` (fraction of records retired by the batched path).
+The regression check therefore compares default-mode throughput against
+default-mode throughput even across a schema bump.
 
 Because absolute records/sec depends on the host, every run also measures
 a fixed pure-Python *calibration* kernel (dict/int/attribute traffic much
@@ -39,7 +49,7 @@ import time
 from typing import Dict, List, Optional
 
 from repro.sim.config import standard_configs
-from repro.sim.system import simulate
+from repro.sim.system import MultiprocessorSystem
 from repro.synthetic.workloads import WORKLOAD_ORDER, generate
 
 #: Pure-scheme systems that simulate the raw trace directly.  The derived
@@ -49,7 +59,7 @@ DEFAULT_SCHEMES = ("Base", "Blk_Pref", "Blk_Bypass", "Blk_ByPref", "Blk_Dma")
 
 DEFAULT_SCALES = (0.25, 0.5)
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: Iterations of the calibration kernel (fixed; part of the metric).
 _CALIBRATION_ITERS = 200_000
@@ -72,18 +82,43 @@ def calibrate(rounds: int = 3) -> float:
     return _CALIBRATION_ITERS / best
 
 
-def bench_cell(trace, config, repeats: int) -> Dict[str, float]:
-    """Best-of-*repeats* serial simulation time of one cell."""
+def _bench_mode(trace, config, repeats: int, batch: bool) -> "tuple[float, int]":
+    """Best-of-*repeats* wall time of one cell in one scheduler mode."""
     best: Optional[float] = None
+    batched_records = 0
     for _ in range(repeats):
+        system = MultiprocessorSystem(trace, config, batch=batch)
         t0 = time.perf_counter()
-        simulate(trace, config)
+        system.run()
         elapsed = time.perf_counter() - t0
         if best is None or elapsed < best:
             best = elapsed
+        batched_records = system.batched_records
     assert best is not None
-    return {"records": len(trace), "best_seconds": best,
-            "records_per_sec": len(trace) / best}
+    return best, batched_records
+
+
+def bench_cell(trace, config, repeats: int) -> Dict[str, float]:
+    """Measure one cell in both scheduler modes.
+
+    The schema-1 keys (``best_seconds``, ``records_per_sec``) hold the
+    *batched* (default-mode) numbers; the scalar reference rides along
+    under ``scalar_*`` so before/after and mode-vs-mode comparisons read
+    off one record.
+    """
+    n = len(trace)
+    batched_best, batched_records = _bench_mode(trace, config, repeats,
+                                                batch=True)
+    scalar_best, _ = _bench_mode(trace, config, repeats, batch=False)
+    return {
+        "records": n,
+        "best_seconds": batched_best,
+        "records_per_sec": n / batched_best,
+        "scalar_best_seconds": scalar_best,
+        "scalar_records_per_sec": n / scalar_best,
+        "batch_speedup": scalar_best / batched_best,
+        "batch_coverage": batched_records / n if n else 0.0,
+    }
 
 
 def run_bench(scales: List[float], schemes: List[str], workloads: List[str],
@@ -97,10 +132,15 @@ def run_bench(scales: List[float], schemes: List[str], workloads: List[str],
             for scheme in schemes:
                 cell = bench_cell(trace, configs[scheme], repeats)
                 cell["normalized"] = cell["records_per_sec"] / calibration
+                cell["scalar_normalized"] = (
+                    cell["scalar_records_per_sec"] / calibration)
                 key = f"{scale}/{workload}/{scheme}"
                 cells[key] = cell
                 print(f"  {key}: {cell['records_per_sec']:,.0f} rec/s "
-                      f"(norm {cell['normalized']:.3f})", flush=True)
+                      f"(norm {cell['normalized']:.3f}, "
+                      f"scalar {cell['scalar_records_per_sec']:,.0f}, "
+                      f"speedup {cell['batch_speedup']:.2f}x, "
+                      f"cov {cell['batch_coverage']:.0%})", flush=True)
     return {
         "schema": SCHEMA_VERSION,
         "meta": {

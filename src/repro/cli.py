@@ -8,7 +8,7 @@ Subcommands::
     repro simulate  <profile|trace file> [--config Base] [--scale S]
                     [--profile-spec FILE] [--frame-policy P]
                     [--check] [--trace-out t.json] [--trace-limit N]
-                    [--profile] [--timeline]
+                    [--profile] [--timeline] [--no-batch]
     repro sweep     [--samples N] [--families F1,F2] [--configs C1,C2]
                     [--scale S] [--seed N] [--cpus 2,4] [--workers N]
     repro report    [--scale S] [--only table1,figure3] [--ascii] [-o FILE]
@@ -149,7 +149,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     try:
         metrics = simulate(trace, configs[args.config],
                            check=True if args.check else None,
-                           tracer=tracer)
+                           tracer=tracer,
+                           batch=False if args.no_batch else None)
     except ConformanceError as err:
         print(f"conformance violation [{err.kind}]: {err}", file=sys.stderr)
         return 1
@@ -352,6 +353,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "and per-service attribution")
     p.add_argument("--timeline", action="store_true",
                    help="print an ASCII miss/bus density timeline")
+    p.add_argument("--no-batch", action="store_true",
+                   help="force the scalar (one step per record) scheduler; "
+                        "equivalent to REPRO_NO_BATCH=1")
     p.set_defaults(fn=cmd_simulate)
 
     p = sub.add_parser("sweep",

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+import numpy as np
+
 from repro.common.params import CacheParams
 from repro.memsys.states import LineState
 
@@ -21,10 +23,17 @@ class DirectMappedCache:
     simulator's L1-hit fast path binds them once and probes the tag array
     directly, skipping the :meth:`present` call per reference.  ``tags``
     is mutated in place only, so a bound reference never goes stale.
+
+    ``tags_np`` mirrors ``tags`` as an int64 array for the batched
+    stepping mode's vectorized compares.  The Python list stays the
+    authoritative copy (scalar indexing of a list is faster than of an
+    ndarray, and the per-record hot path must not regress); the mirror is
+    updated in the same mutation methods, which only run on the miss and
+    invalidation paths.
     """
 
-    __slots__ = ("params", "line_bytes", "num_lines", "tags", "fills",
-                 "evictions")
+    __slots__ = ("params", "line_bytes", "num_lines", "tags", "tags_np",
+                 "fills", "evictions")
 
     def __init__(self, params: CacheParams) -> None:
         self.params = params
@@ -32,6 +41,8 @@ class DirectMappedCache:
         self.num_lines = params.num_lines
         #: Line-aligned address held by each set, or -1 when empty.
         self.tags: List[int] = [-1] * self.num_lines
+        #: Vectorized mirror of :attr:`tags` (batched stepping mode).
+        self.tags_np = np.full(self.num_lines, -1, dtype=np.int64)
         self.fills = 0
         self.evictions = 0
 
@@ -60,6 +71,7 @@ class DirectMappedCache:
         if old == line:
             return -1
         self.tags[idx] = line
+        self.tags_np[idx] = line
         self.fills += 1
         if old != -1:
             self.evictions += 1
@@ -72,6 +84,7 @@ class DirectMappedCache:
         idx = (line // self.line_bytes) % self.num_lines
         if self.tags[idx] == line:
             self.tags[idx] = -1
+            self.tags_np[idx] = -1
             return True
         return False
 
@@ -93,13 +106,19 @@ class DirectMappedCache:
 
 
 class CoherentCache(DirectMappedCache):
-    """Direct-mapped cache with a MESI state per set (the L2)."""
+    """Direct-mapped cache with a MESI state per set (the L2).
 
-    __slots__ = ("states",)
+    ``states_np`` mirrors ``states`` (same contract as ``tags_np``): the
+    enum list is authoritative, the int8 array exists for the batched
+    stepping mode's vectorized owned-line checks.
+    """
+
+    __slots__ = ("states", "states_np")
 
     def __init__(self, params: CacheParams) -> None:
         super().__init__(params)
         self.states: List[LineState] = [LineState.INVALID] * self.num_lines
+        self.states_np = np.zeros(self.num_lines, dtype=np.int8)
 
     def state_of(self, addr: int) -> LineState:
         """MESI state of the line containing *addr* (INVALID if absent)."""
@@ -116,8 +135,10 @@ class CoherentCache(DirectMappedCache):
         if self.tags[idx] != line:
             raise KeyError(f"line {line:#x} not resident")
         self.states[idx] = state
+        self.states_np[idx] = state
         if state == LineState.INVALID:
             self.tags[idx] = -1
+            self.tags_np[idx] = -1
 
     def fill_state(self, addr: int, state: LineState) -> Tuple[int, Optional[LineState]]:
         """Install the line containing *addr* in *state*.
@@ -130,7 +151,9 @@ class CoherentCache(DirectMappedCache):
         old_tag = self.tags[idx]
         old_state = self.states[idx]
         self.tags[idx] = line
+        self.tags_np[idx] = line
         self.states[idx] = state
+        self.states_np[idx] = state
         if old_tag == line or old_tag == -1:
             if old_tag == -1:
                 self.fills += 1
@@ -144,6 +167,8 @@ class CoherentCache(DirectMappedCache):
         idx = (line // self.line_bytes) % self.num_lines
         if self.tags[idx] == line:
             self.tags[idx] = -1
+            self.tags_np[idx] = -1
             self.states[idx] = LineState.INVALID
+            self.states_np[idx] = 0
             return True
         return False

@@ -25,24 +25,21 @@ from typing import Union
 import numpy as np
 
 from repro.common.errors import TraceError
-from repro.common.types import BlockOpKind, DataClass, Mode, Op
-from repro.trace.record import TraceRecord
+from repro.common.types import BlockOpKind, DataClass
+from repro.trace.columns import StreamColumns
 from repro.trace.stream import Trace
 
 _VERSION = 1
 _COLUMNS = 9
 
 
-def _stream_matrix(stream) -> np.ndarray:
-    out = np.empty((len(stream), _COLUMNS), dtype=np.int64)
-    for i, r in enumerate(stream):
-        out[i] = (int(r.op), r.addr, int(r.mode), int(r.dclass), r.pc,
-                  r.icount, r.blockop, r.size, r.arg)
-    return out
-
-
 def save(trace: Trace, path: str) -> None:
-    """Write *trace* to a compressed ``.npz`` archive at *path*."""
+    """Write *trace* to a compressed ``.npz`` archive at *path*.
+
+    Streams are serialized from the trace's column views, so a trace that
+    was itself loaded columnar (:func:`load`) round-trips without ever
+    materializing record objects.
+    """
     arrays = {
         "meta": np.array(json.dumps({
             "version": _VERSION,
@@ -57,13 +54,21 @@ def save(trace: Trace, path: str) -> None:
             [(s.base, s.size, int(s.dclass)) for s in trace.symbols],
             dtype=np.int64).reshape(-1, 3),
     }
-    for cpu, stream in enumerate(trace.streams):
-        arrays[f"cpu{cpu}"] = _stream_matrix(stream)
+    for cpu, cols in enumerate(trace.column_streams()):
+        arrays[f"cpu{cpu}"] = cols.to_matrix()
     np.savez_compressed(path, **arrays)
 
 
 def load(path: str) -> Trace:
-    """Read a trace previously written by :func:`save`."""
+    """Read a trace previously written by :func:`save`.
+
+    The streams are loaded columnar: each ``cpu<i>`` matrix becomes a
+    zero-copy :class:`~repro.trace.columns.StreamColumns` view and the
+    trace is assembled through :meth:`Trace.from_columns`.  Per-record
+    ``TraceRecord`` objects are only built if a consumer later touches
+    ``trace.streams`` — the batched simulator, the histogram pass, and a
+    save round-trip never do.
+    """
     with np.load(path, allow_pickle=False) as archive:
         try:
             meta = json.loads(str(archive["meta"]))
@@ -72,7 +77,16 @@ def load(path: str) -> Trace:
         if meta.get("version") != _VERSION:
             raise TraceError(f"{path}: unsupported version "
                              f"{meta.get('version')!r}")
-        trace = Trace(int(meta["num_cpus"]), metadata=meta["metadata"])
+        num_cpus = int(meta["num_cpus"])
+        columns = []
+        for cpu in range(num_cpus):
+            matrix = archive[f"cpu{cpu}"]
+            if matrix.ndim != 2 or matrix.shape[1] != _COLUMNS:
+                raise TraceError(
+                    f"{path}: cpu{cpu} stream has shape {matrix.shape}")
+            columns.append(StreamColumns.from_matrix(matrix))
+        trace = Trace.from_columns(num_cpus, columns,
+                                   metadata=meta["metadata"])
         names = archive["sym_names"]
         table = archive["sym_table"]
         for name, (base, size, dclass) in zip(names, table):
@@ -86,12 +100,4 @@ def load(path: str) -> Trace:
                 desc = trace.blockops.new_zero(int(dst), int(size), int(pc))
             if desc.op_id != int(op_id):
                 raise TraceError(f"{path}: block op ids out of order")
-        for cpu in range(trace.num_cpus):
-            matrix = archive[f"cpu{cpu}"]
-            stream = trace.streams[cpu]
-            for row in matrix:
-                stream.append(TraceRecord(
-                    Op(int(row[0])), int(row[1]), Mode(int(row[2])),
-                    DataClass(int(row[3])), int(row[4]), int(row[5]),
-                    int(row[6]), int(row[7]), int(row[8])))
     return trace

@@ -25,7 +25,21 @@ BLOCK_WORD_BYTES = 4
 
 
 class Trace:
-    """A complete multiprocessor trace."""
+    """A complete multiprocessor trace.
+
+    Records live in one of two storage forms:
+
+    * **row-wise** — ``streams`` is a list of per-CPU
+      :class:`TraceRecord` lists (the builder's write-side form);
+    * **columnar** — per-CPU :class:`~repro.trace.columns.StreamColumns`
+      arrays installed by :meth:`from_columns` (the form
+      :mod:`repro.trace.npzio` loads); record objects are materialized
+      lazily, the first time somebody touches :attr:`streams`.
+
+    Column views of either form are available through
+    :meth:`column_streams`; the batched simulator core and the histogram
+    pass consume those instead of record objects.
+    """
 
     def __init__(self, num_cpus: int, blockops: Optional[BlockOpRegistry] = None,
                  symbols: Optional[SymbolMap] = None,
@@ -33,7 +47,11 @@ class Trace:
         if num_cpus < 1:
             raise TraceError("trace needs at least one CPU stream")
         self.num_cpus = num_cpus
-        self.streams: List[List[TraceRecord]] = [[] for _ in range(num_cpus)]
+        self._streams: Optional[List[List[TraceRecord]]] = [
+            [] for _ in range(num_cpus)]
+        #: Columnar storage (npz load path); exclusive with a populated
+        #: ``_streams`` until materialization.
+        self._columns: Optional[list] = None
         self.blockops = blockops if blockops is not None else BlockOpRegistry()
         self.symbols = symbols if symbols is not None else SymbolMap()
         self.metadata: Dict[str, object] = dict(metadata or {})
@@ -44,13 +62,70 @@ class Trace:
         self._histogram_shape: Optional[Tuple[int, ...]] = None
         self._sealed: Optional[Tuple[Tuple[TraceRecord, ...], ...]] = None
         self._sealed_shape: Optional[Tuple[int, ...]] = None
+        self._columns_cache: Optional[list] = None
+        self._columns_shape: Optional[Tuple[int, ...]] = None
+
+    @classmethod
+    def from_columns(cls, num_cpus: int, columns,
+                     blockops: Optional[BlockOpRegistry] = None,
+                     symbols: Optional[SymbolMap] = None,
+                     metadata: Optional[Dict[str, object]] = None) -> "Trace":
+        """Build a trace directly from per-CPU :class:`StreamColumns`.
+
+        No :class:`TraceRecord` objects are constructed; they appear only
+        if a consumer touches :attr:`streams` (or a method that needs
+        them, like :meth:`validate`).  Columnar consumers — the npz
+        writer, the histogram, the batched simulator — never do.
+        """
+        columns = list(columns)
+        if len(columns) != num_cpus:
+            raise TraceError(
+                f"expected {num_cpus} column streams, got {len(columns)}")
+        trace = cls(num_cpus, blockops=blockops, symbols=symbols,
+                    metadata=metadata)
+        trace._streams = None
+        trace._columns = columns
+        trace._columns_cache = columns
+        trace._columns_shape = tuple(len(c) for c in columns)
+        return trace
+
+    @property
+    def streams(self) -> List[List[TraceRecord]]:
+        """Per-CPU record lists, materializing columnar storage on demand."""
+        if self._streams is None:
+            assert self._columns is not None
+            self._streams = [cols.to_records() for cols in self._columns]
+        return self._streams
+
+    def is_materialized(self) -> bool:
+        """True when per-record objects exist (False for lazy npz loads)."""
+        return self._streams is not None
 
     def __len__(self) -> int:
         """Total record count across all CPUs."""
-        return sum(len(s) for s in self.streams)
+        return sum(self._shape())
 
     def _shape(self) -> Tuple[int, ...]:
-        return tuple(len(s) for s in self.streams)
+        if self._streams is None:
+            assert self._columns is not None
+            return tuple(len(c) for c in self._columns)
+        return tuple(len(s) for s in self._streams)
+
+    def column_streams(self) -> list:
+        """Per-CPU :class:`StreamColumns`, cached until the trace grows.
+
+        For a columnar (npz-loaded) trace these are the loaded arrays,
+        zero-copy.  For a built trace they are packed from the record
+        lists once and shared by every consumer (the N systems of a
+        scheme sweep, the histogram) until the shape changes.
+        """
+        shape = self._shape()
+        if self._columns_cache is None or self._columns_shape != shape:
+            from repro.trace.columns import StreamColumns
+            self._columns_cache = [StreamColumns.from_records(s)
+                                   for s in self.streams]
+            self._columns_shape = shape
+        return self._columns_cache
 
     def records(self) -> Iterable[TraceRecord]:
         """Iterate over all records, CPU by CPU."""
@@ -79,13 +154,25 @@ class Trace:
         """
         shape = self._shape()
         if self._histogram is None or self._histogram_shape != shape:
-            counts: Counter = Counter()
-            for stream in self.streams:
-                counts.update((r.op, r.mode) for r in stream)
-            # Normalize the int keys to enum members once, at the end.
-            self._histogram = Counter({
-                (OP_BY_VALUE[op], MODE_BY_VALUE[mode]): n
-                for (op, mode), n in counts.items()})
+            if self._streams is None:
+                # Columnar storage: one bincount per CPU, no record objects.
+                import numpy as np
+                keyed = np.zeros(len(OP_BY_VALUE) * 4, dtype=np.int64)
+                for cols in self._columns:
+                    if len(cols):
+                        keyed += np.bincount(cols.ops * 4 + cols.modes,
+                                             minlength=len(keyed))
+                self._histogram = Counter({
+                    (OP_BY_VALUE[key >> 2], MODE_BY_VALUE[key & 3]): int(n)
+                    for key, n in enumerate(keyed.tolist()) if n})
+            else:
+                counts: Counter = Counter()
+                for stream in self._streams:
+                    counts.update((r.op, r.mode) for r in stream)
+                # Normalize the int keys to enum members once, at the end.
+                self._histogram = Counter({
+                    (OP_BY_VALUE[op], MODE_BY_VALUE[mode]): n
+                    for (op, mode), n in counts.items()})
             self._histogram_shape = shape
         return self._histogram
 

@@ -40,11 +40,15 @@ def dump(trace: Trace, fp: TextIO) -> None:
     for op in trace.blockops:
         fp.write(f"blockop {op.op_id} {int(op.kind)} {op.src} {op.dst} "
                  f"{op.size} {op.pc}\n")
-    for cpu, stream in enumerate(trace.streams):
-        for r in stream:
-            fp.write(f"r {cpu} {int(r.op)} {r.addr} {int(r.mode)} "
-                     f"{int(r.dclass)} {r.pc} {r.icount} {r.blockop} "
-                     f"{r.size} {r.arg}\n")
+    # Write from the column views: identical output for a materialized
+    # trace, and a columnar (npz-loaded) trace serializes without ever
+    # constructing TraceRecord objects.
+    for cpu, cols in enumerate(trace.column_streams()):
+        for op, addr, mode, dclass, pc, icount, blockop, size, arg \
+                in cols.iter_rows():
+            fp.write(f"r {cpu} {op} {addr} {mode} "
+                     f"{dclass} {pc} {icount} {blockop} "
+                     f"{size} {arg}\n")
 
 
 def dumps(trace: Trace) -> str:

@@ -7,13 +7,24 @@ the reference scan scheduler (:meth:`run_scan`) and to the full
 :class:`CpuMemorySystem` call chain.  These tests throw randomized traces
 — locks, barriers, block copies/zeros, both modes, all five pure schemes —
 at both implementations and compare the complete snapshots.
+
+The batched scheduler (``batch=True``, the default) gets the same
+treatment at a larger blast radius: every scheme of
+:func:`standard_configs` crossed with the four paper workloads and three
+generated profile families, a hypothesis property over the batch chunk
+size, and regression tests pinning the auto-disable contract (checker,
+tracer, instance-patched hooks, and ``REPRO_NO_BATCH`` must force the
+scalar loop and change nothing).
 """
 
 from __future__ import annotations
 
 import random
+from functools import lru_cache
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.common.params import BASE_MACHINE
 from repro.common.types import DataClass, Mode
@@ -22,11 +33,22 @@ from repro.memsys.coherence import CoherenceController
 from repro.memsys.hierarchy import CpuMemorySystem
 from repro.sim.config import standard_configs
 from repro.sim.metrics import MissTracker
-from repro.sim.system import MultiprocessorSystem
+from repro.sim.system import REPRO_NO_BATCH_ENV, MultiprocessorSystem
+from repro.synthetic.profiles import generate as generate_profile
 from repro.trace import record
 from repro.trace.stream import TraceBuilder
 
 PURE_SCHEMES = ["Base", "Blk_Pref", "Blk_Bypass", "Blk_ByPref", "Blk_Dma"]
+
+ALL_SCHEMES = list(standard_configs())
+
+PAPER_WORKLOADS = ["TRFD_4", "TRFD+Make", "ARC2D+Fsck", "Shell"]
+GENERATED_PROFILES = ["server", "bursty_mp", "gang_diurnal"]
+
+#: Workload scale for the full scheme x workload matrix (~20-35k records
+#: per trace: big enough for real run-length structure, small enough for
+#: the suite).
+MATRIX_SCALE = 0.08
 
 SHARED_BASE = 0x50000
 LOCK_ADDRS = (0x9000, 0x9040)
@@ -168,3 +190,130 @@ class TestL1FastPathEquivalence:
             assert f.l2.tags == l.l2.tags
             assert f.l2.states == l.l2.states
             assert f.wb1.stall_cycles == l.wb1.stall_cycles
+
+
+@lru_cache(maxsize=None)
+def profile_trace(name: str, scale: float = MATRIX_SCALE):
+    """One generated trace per workload, shared by every cell below."""
+    return generate_profile(name, seed=7, scale=scale)
+
+
+@lru_cache(maxsize=None)
+def scalar_snapshot(name: str, scheme: str):
+    """Reference scalar-mode snapshot for a (workload, scheme) cell."""
+    trace = profile_trace(name)
+    config = standard_configs()[scheme]
+    return MultiprocessorSystem(trace, config, batch=False).run().snapshot()
+
+
+class TestBatchedSchedulerEquivalence:
+    """``batch=True`` must be bit-identical to the scalar loop."""
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    @pytest.mark.parametrize("workload",
+                             PAPER_WORKLOADS + GENERATED_PROFILES)
+    def test_batched_matches_scalar(self, workload, scheme):
+        trace = profile_trace(workload)
+        config = standard_configs()[scheme]
+        system = MultiprocessorSystem(trace, config, batch=True)
+        batched = system.run().snapshot()
+        assert batched == scalar_snapshot(workload, scheme)
+
+    @pytest.mark.parametrize("scheme", ["Base", "Blk_Dma"])
+    def test_batched_matches_scalar_fast(self, scheme):
+        """A two-cell subset of the matrix for the quick CI lane."""
+        trace = profile_trace("Shell")
+        config = standard_configs()[scheme]
+        system = MultiprocessorSystem(trace, config, batch=True)
+        batched = system.run().snapshot()
+        # The hit-dominated cells must actually exercise the batched
+        # path, not silently fall back to scalar stepping.
+        assert system.batched_records > 0
+        assert batched == scalar_snapshot("Shell", scheme)
+
+    @pytest.mark.parametrize("scheme", PURE_SCHEMES)
+    @pytest.mark.parametrize("seed", [21, 22])
+    def test_random_traces_batched(self, seed, scheme):
+        """Adversarial sync-heavy traces, batched vs scalar."""
+        config = standard_configs()[scheme]
+        trace = random_trace(seed, num_cpus=2 + seed % 3)
+        scalar = MultiprocessorSystem(trace, config, batch=False) \
+            .run().snapshot()
+        batched = MultiprocessorSystem(trace, config, batch=True) \
+            .run().snapshot()
+        assert batched == scalar
+
+
+class TestBatchChunkProperty:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 40), chunk=st.integers(1, 8192))
+    def test_chunk_never_changes_metrics(self, seed, chunk):
+        """The vector-tier chunk size is pure mechanism, never policy."""
+        config = standard_configs()["Base"]
+        trace = random_trace(seed, num_cpus=2 + seed % 3)
+        scalar = MultiprocessorSystem(trace, config, batch=False) \
+            .run().snapshot()
+        batched = MultiprocessorSystem(trace, config, batch=True,
+                                       batch_chunk=chunk).run().snapshot()
+        assert batched == scalar
+
+
+class TestBatchAutoDisable:
+    """Observers must force the scalar loop — and change no metric."""
+
+    def _reference(self):
+        trace = profile_trace("Shell")
+        config = standard_configs()["Base"]
+        return trace, config, scalar_snapshot("Shell", "Base")
+
+    def test_checker_forces_scalar(self):
+        trace, config, ref = self._reference()
+        system = MultiprocessorSystem(trace, config, batch=True, check=True)
+        snap = system.run().snapshot()
+        assert system.checker is not None
+        assert system.batched_records == 0
+        assert snap == ref
+
+    def test_tracer_forces_scalar(self):
+        from repro.obs import Tracer
+        from repro.obs.tracer import attach_tracer
+        trace, config, ref = self._reference()
+        system = MultiprocessorSystem(trace, config, batch=True)
+        attach_tracer(system, Tracer())
+        snap = system.run().snapshot()
+        assert system.batched_records == 0
+        assert snap == ref
+
+    def test_env_var_forces_scalar(self, monkeypatch):
+        trace, config, ref = self._reference()
+        monkeypatch.setenv(REPRO_NO_BATCH_ENV, "1")
+        system = MultiprocessorSystem(trace, config)
+        snap = system.run().snapshot()
+        assert system.batched_records == 0
+        assert snap == ref
+
+    def test_instance_step_patch_forces_scalar(self):
+        trace, config, ref = self._reference()
+        system = MultiprocessorSystem(trace, config, batch=True)
+        stepped = 0
+        for proc in system.processors:
+            orig = proc.step
+
+            def step(orig=orig):
+                nonlocal stepped
+                stepped += 1
+                return orig()
+
+            proc.step = step
+        snap = system.run().snapshot()
+        assert system.batched_records == 0
+        assert stepped >= len(trace)
+        assert snap == ref
+
+    def test_explicit_batch_false(self):
+        trace, config, ref = self._reference()
+        system = MultiprocessorSystem(trace, config, batch=False)
+        snap = system.run().snapshot()
+        assert system.batched_records == 0
+        assert snap == ref
