@@ -93,6 +93,17 @@ class JobTimeoutError(JobFailedError):
     """A sweep job exceeded its per-job wall-clock timeout."""
 
 
+class SweepCancelledError(ReproError):
+    """A sweep was cancelled before it completed.
+
+    Raised by the parallel experiment engine when the caller's cancel
+    event is set mid-sweep (the sweep service sets it on a client
+    ``cancel`` request).  Deliberately *not* a :class:`JobFailedError`:
+    no job failed, the caller changed its mind, and the engine's
+    retry/failure accounting must not treat it as a fault.
+    """
+
+
 class ArtifactCorruptError(ReproError):
     """A cache artifact failed hash verification.
 

@@ -143,9 +143,11 @@ def run_all(scale: float = 0.5, seed: int = 1996,
               "=" * 60, ""]
     for name in wanted:
         builder = ALL_TABLES.get(name) or ALL_FIGURES.get(name)
-        start = time.time()
+        # Monotonic, like every other duration in the package: an NTP
+        # step or suspend must not corrupt the reported build time.
+        start = time.monotonic()
         artifact = builder(runner)
-        elapsed = time.time() - start
+        elapsed = time.monotonic() - start
         if verbose:
             print(f"[{name} built in {elapsed:.1f}s]", file=sys.stderr)
         chunks.append(f"### {name}")

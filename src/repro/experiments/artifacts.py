@@ -53,6 +53,7 @@ from typing import Any, Dict, List, Optional
 from repro.common.errors import ArtifactCorruptError, TraceError
 from repro.common.params import MachineParams
 from repro.optim.update_select import UpdateSelection
+from repro.sim.metrics import SystemMetrics
 from repro.trace import npzio
 from repro.trace.stream import Trace
 
@@ -110,6 +111,32 @@ def stage_key(stage: str, scale: float, seed: int, workload: str,
         "workload": workload,
         "machine": machine_fingerprint(machine) if machine else None,
         "extra": extra or {},
+    }
+    blob = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def metrics_key(scale: float, seed: int, key: SimKey,
+                profiling_machine: str) -> str:
+    """Content hash identifying one cached simulation *result*.
+
+    Unlike :func:`stage_key`, this keys a finished
+    :class:`~repro.sim.metrics.SystemMetrics`, so repeat cells can be
+    served without re-simulating (the sweep service's warm path).
+    *profiling_machine* is the fingerprint of the machine the derivation
+    pipeline profiled on: the update-page set and hot-spot list depend
+    on it even when the simulated machine differs (Figures 6-7 sweep
+    hardware under a kernel tuned on the Base machine), so conflating
+    the two would alias distinct results.
+    """
+    payload = {
+        "version": CACHE_VERSION,
+        "stage": "metrics",
+        "scale": scale,
+        "seed": seed,
+        "workload": key.workload,
+        "machine": key.machine,
+        "extra": {"config": key.config, "profiling": profiling_machine},
     }
     blob = json.dumps(payload, sort_keys=True)
     return hashlib.sha256(blob.encode()).hexdigest()
@@ -338,6 +365,44 @@ class ArtifactCache:
 
     def store_hotspots(self, key: str, pcs: List[int]) -> None:
         self.store_json(key, list(pcs), "hotspots")
+
+    def load_metrics(self, key: str) -> Optional[SystemMetrics]:
+        """The cached simulation result under *key*, or ``None``.
+
+        Restores through :meth:`SystemMetrics.from_snapshot`, whose
+        round trip is exact — a cell served from here is bit-identical
+        (snapshot-equal) to re-running the simulation.
+        """
+        payload = self.load_json(key, "metrics")
+        if payload is None:
+            return None
+        try:
+            return SystemMetrics.from_snapshot(payload)
+        except (KeyError, TypeError, ValueError, AttributeError) as err:
+            # Valid JSON, wrong shape (or a snapshot from an
+            # incompatible interpreter): quarantine and re-simulate.
+            self._quarantine(self._path(key, "json"), stage="metrics",
+                             error=err)
+            self.stats["metrics.corrupt"] += 1
+            self.stats["metrics.quarantine"] += 1
+            return None
+
+    def store_metrics(self, key: str, metrics: SystemMetrics) -> None:
+        """Persist a simulation result; a no-op when already stored.
+
+        Simulation is deterministic, so a current-version entry under
+        *key* already holds exactly these bytes — skipping the rewrite
+        keeps warm re-runs store-free.  A bit-flipped entry still
+        self-heals: the next load quarantines it (renaming the file),
+        after which this store writes a fresh copy.
+        """
+        try:
+            with open(self._path(key, "json")) as fp:
+                if json.load(fp).get("version") == CACHE_VERSION:
+                    return
+        except (OSError, ValueError):
+            pass  # absent, unreadable, or garbage: (re)write below
+        self.store_json(key, metrics.snapshot(), "metrics")
 
     # ------------------------------------------------------------------
     # Reporting

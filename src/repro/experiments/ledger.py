@@ -174,7 +174,8 @@ def summarize(path: str) -> str:
     lines.append("")
     for name in ("retried", "timed_out", "quarantined", "artifact_corrupt",
                  "job_failed", "pool_broken", "pool_rebuilt",
-                 "degraded_serial", "heartbeat"):
+                 "degraded_serial", "heartbeat", "served_cached",
+                 "sweep_cancelled"):
         lines.append(f"{name:<16} {counts.get(name, 0):>4}")
     if retried_jobs:
         lines.append("")

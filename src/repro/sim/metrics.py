@@ -407,6 +407,66 @@ class SystemMetrics:
         """The *count* basic blocks with the most OS misses (section 6)."""
         return [pc for pc, _n in self.os_miss_pc.most_common(count)]
 
+    @classmethod
+    def from_snapshot(cls, snap: Dict[str, object]) -> "SystemMetrics":
+        """Rebuild a metrics object from a :meth:`snapshot` dump.
+
+        Exact inverse: ``SystemMetrics.from_snapshot(m.snapshot())``
+        snapshots back to the same dictionary, bit for bit.  The
+        artifact cache persists simulation results as snapshots
+        (:meth:`repro.experiments.artifacts.ArtifactCache.store_metrics`),
+        so a warm sweep can serve a cell without re-simulating and still
+        satisfy the engine's bit-identical-results contract.  Raises
+        ``KeyError``/``TypeError``/``ValueError`` on malformed input —
+        the cache layer quarantines the entry on any of those.
+        """
+        metrics = cls(int(snap["num_cpus"]), int(snap["page_bytes"]))
+        # snapshot() renders Counter keys through str(); invert that per
+        # enum (robust to the IntEnum __str__ change in Python 3.11).
+        by_str = {enum_cls: {str(member): member for member in enum_cls}
+                  for enum_cls in (Mode, MissKind, DataClass)}
+
+        def counter(name: str, key_of) -> Counter:
+            out: Counter = Counter()
+            for key, value in snap[name].items():  # type: ignore[union-attr]
+                out[key_of(key)] = int(value)
+            return out
+
+        for mode in Mode:
+            breakdown = metrics.time[mode]
+            for field in TimeBreakdown.__slots__:
+                setattr(breakdown, field, int(snap["time"][mode.name][field]))
+        metrics.reads = counter("reads", by_str[Mode].__getitem__)
+        metrics.writes = counter("writes", by_str[Mode].__getitem__)
+        metrics.read_misses = counter("read_misses", by_str[Mode].__getitem__)
+        metrics.os_miss_kind = counter("os_miss_kind",
+                                       by_str[MissKind].__getitem__)
+        metrics.os_coh_dclass = counter("os_coh_dclass",
+                                        by_str[DataClass].__getitem__)
+        metrics.os_miss_pc = counter("os_miss_pc", int)
+        metrics.os_miss_dclass = counter("os_miss_dclass",
+                                         by_str[DataClass].__getitem__)
+        metrics.os_coh_addr = counter("os_coh_addr", int)
+        for field in ("displacement_inside", "displacement_outside",
+                      "reuse_inside", "reuse_outside", "blk_read_stall",
+                      "blk_write_stall", "blk_displ_stall", "blk_instr_exec",
+                      "dma_ops", "dma_stall", "prefetches_issued",
+                      "os_hotspot_misses", "bus_busy_cycles",
+                      "bus_wait_cycles", "updates_sent",
+                      "invalidations_sent", "cache_to_cache", "writebacks",
+                      "lock_acquisitions", "lock_contended",
+                      "barrier_episodes", "makespan"):
+            setattr(metrics, field, int(snap[field]))
+        for field in BlockOpStats.__slots__:
+            setattr(metrics.blockops, field, int(snap["blockops"][field]))
+        metrics.hotspot_pcs = {int(pc) for pc in snap["hotspot_pcs"]}
+        metrics.bus_traffic = {str(k): int(v)
+                               for k, v in snap["bus_traffic"].items()}
+        metrics.bus_transactions = {
+            str(k): int(v) for k, v in snap["bus_transactions"].items()}
+        metrics.cpu_end_times = [int(t) for t in snap["cpu_end_times"]]
+        return metrics
+
     def snapshot(self) -> Dict[str, object]:
         """Canonical, order-independent dump of every measured quantity.
 

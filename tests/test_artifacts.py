@@ -9,7 +9,8 @@ import pytest
 from repro.common.params import BASE_MACHINE
 from repro.common.units import KB
 from repro.experiments.artifacts import (ArtifactCache, SimKey,
-                                         machine_fingerprint, stage_key)
+                                         machine_fingerprint, metrics_key,
+                                         stage_key)
 from repro.experiments.runner import ExperimentRunner
 from repro.optim.update_select import UpdateSelection
 
@@ -236,3 +237,53 @@ def test_cold_cache_counts_misses(tmp_path):
     assert cache.stats["trace.miss"] == 1
     assert cache.stats["trace.store"] == 1
     assert cache.summary().endswith("1 stores")
+
+
+# ----------------------------------------------------------------------
+# Cached simulation results (the sweep service's warm path)
+# ----------------------------------------------------------------------
+def test_metrics_key_distinguishes_profiling_machine():
+    sim = SimKey.of("Shell", "Base", BASE_MACHINE)
+    fingerprint = machine_fingerprint(BASE_MACHINE)
+    keys = {
+        metrics_key(0.5, 1996, sim, fingerprint),
+        metrics_key(0.5, 1997, sim, fingerprint),
+        metrics_key(0.25, 1996, sim, fingerprint),
+        metrics_key(0.5, 1996, SimKey.of("Shell", "Blk_Dma", BASE_MACHINE),
+                    fingerprint),
+        # Same simulated machine, different profiling machine: distinct
+        # (Figures 6-7 sweep hardware under a Base-tuned kernel).
+        metrics_key(0.5, 1996, sim, "other-profiling-machine"),
+    }
+    assert len(keys) == 5
+
+
+def test_metrics_roundtrip_is_exact(tmp_path):
+    runner = ExperimentRunner(scale=SCALE, seed=SEED)
+    metrics = runner.run("Shell", "Base")
+    cache = ArtifactCache(tmp_path)
+    cache.store_metrics("m" * 64, metrics)
+    restored = cache.load_metrics("m" * 64)
+    assert restored is not None
+    assert restored.snapshot() == metrics.snapshot()
+    assert cache.stats["metrics.store"] == 1
+    assert cache.stats["metrics.hit"] == 1
+    assert cache.load_metrics("n" * 64) is None
+    assert cache.stats["metrics.miss"] == 1
+    # Deterministic results are stored at most once: a repeat store of
+    # the same key is a no-op, so warm sweeps stay store-free.
+    cache.store_metrics("m" * 64, metrics)
+    assert cache.stats["metrics.store"] == 1
+
+
+def test_malformed_metrics_snapshot_quarantined(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    # Valid JSON with a correct hash sidecar, but not a snapshot: the
+    # from_snapshot restore fails and the entry is quarantined.
+    cache.store_json("q" * 64, {"num_cpus": 4}, "metrics")
+    fresh = ArtifactCache(tmp_path)
+    assert fresh.load_metrics("q" * 64) is None
+    assert fresh.stats["metrics.corrupt"] == 1
+    assert fresh.stats["metrics.quarantine"] == 1
+    quarantined = _cache_files(tmp_path, ".quarantined")
+    assert any(path.endswith(".json.quarantined") for path in quarantined)

@@ -167,3 +167,40 @@ def test_sweep_rejects_unknown_config(capsys):
 def test_sweep_rejects_unknown_family(capsys):
     assert main(["sweep", "--samples", "1", "--families", "Shell"]) == 2
     assert "bad sweep" in capsys.readouterr().err
+
+
+def test_service_client_commands_handle_unreachable_service(capsys):
+    url = "http://127.0.0.1:9"  # discard port: nothing listens
+    assert main(["status", "--url", url]) == 1
+    assert "error:" in capsys.readouterr().err
+    assert main(["submit", "--url", url, "--workloads", "Shell"]) == 1
+    assert "error:" in capsys.readouterr().err
+    assert main(["cancel", "job-0001", "--url", url]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_submit_and_status_against_live_service(tmp_path, capsys):
+    from repro.experiments.service import SweepService
+    service = SweepService(str(tmp_path / "cache"), workers=1,
+                           heartbeat_interval=None)
+    host, port = service.start_http()
+    url = f"http://{host}:{port}"
+    try:
+        assert main(["status", "--url", url]) == 0
+        assert '"ok": true' in capsys.readouterr().out
+        assert main(["submit", "--url", url, "--workloads", "Shell",
+                     "--configs", "Base", "--scales", "0.02",
+                     "--seed", "9", "--wait", "--timeout", "300"]) == 0
+        out = capsys.readouterr().out
+        assert '"state": "done"' in out and '"job_id": "job-0001"' in out
+        assert main(["status", "--url", url, "--all"]) == 0
+        assert "job-0001" in capsys.readouterr().out
+        assert main(["status", "job-0001", "--url", url, "--results"]) == 0
+        assert "Shell|Base|0.02" in capsys.readouterr().out
+        assert main(["status", "job-0001", "--url", url,
+                     "--events", "0"]) == 0
+        assert "sweep_end" in capsys.readouterr().out
+        assert main(["cancel", "job-0001", "--url", url]) == 0
+        assert '"state": "done"' in capsys.readouterr().out  # no-op
+    finally:
+        service.stop()

@@ -1,7 +1,11 @@
 """Tests for the regenerate-everything driver (repro.experiments.all)."""
 
+import re
+import time as real_time
+
 import pytest
 
+from repro.experiments import all as all_mod
 from repro.experiments.all import ARTIFACT_ORDER, main, run_all
 
 
@@ -23,6 +27,33 @@ def test_run_all_selected_artifacts():
 def test_run_all_unknown_artifact():
     with pytest.raises(KeyError, match="unknown artifact"):
         run_all(scale=0.05, only=["table9"], verbose=False)
+
+
+class BackwardsWallClock:
+    """A ``time`` stand-in whose wall clock steps backwards on every
+    read (a hostile NTP adjustment), with everything else real — the
+    same hostile clock the ledger regression test uses."""
+
+    def __init__(self):
+        self._wall = 1_000_000.0
+
+    def time(self):
+        self._wall -= 100.0
+        return self._wall
+
+    def __getattr__(self, name):  # monotonic, sleep, strftime, ...
+        return getattr(real_time, name)
+
+
+def test_artifact_elapsed_survives_backwards_wall_clock(
+        monkeypatch, capsys):
+    monkeypatch.setattr(all_mod, "time", BackwardsWallClock())
+    report = run_all(scale=0.05, seed=3, only=["table2"], verbose=True)
+    assert "### table2" in report
+    timings = re.findall(r"\[table2 built in (-?[\d.]+)s\]",
+                         capsys.readouterr().err)
+    assert timings, "verbose run should report per-artifact build times"
+    assert all(float(t) >= 0 for t in timings)
 
 
 def test_main_writes_output(tmp_path, capsys):

@@ -186,6 +186,30 @@ def test_degrades_to_serial_when_pool_keeps_breaking(clean_serial, tmp_path):
     assert "pool_rebuilt" not in events
 
 
+def test_rebuilt_pool_sized_by_remaining_jobs(tmp_path):
+    """A pool rebuilt late in a sweep must be sized by the jobs still
+    to run, not the full DAG (regression: rebuilds used len(jobs))."""
+    from repro.common.params import BASE_MACHINE
+    from repro.experiments.ledger import RunLedger
+    from repro.experiments.parallel import _Scheduler, plan_jobs
+
+    engine = ParallelEngine(scale=SCALE, seed=SEED, workers=8,
+                            retry_policy=RetryPolicy(**FAST))
+    cells = [("Shell", config, BASE_MACHINE)
+             for config in ("Base", "Blk_Pref", "Blk_Bypass", "Blk_ByPref",
+                            "Blk_Dma")]
+    jobs = plan_jobs(cells, BASE_MACHINE)  # 1 trace + 5 sims
+    assert len(jobs) == 6
+    scheduler = _Scheduler(engine, jobs, str(tmp_path), RunLedger.null(),
+                           verbose=False)
+    scheduler.done_count = len(jobs) - 2  # only two jobs left to run
+    assert scheduler._rebuild_pool()
+    try:
+        assert scheduler.pool._max_workers == 2
+    finally:
+        scheduler.pool.shutdown(wait=False, cancel_futures=True)
+
+
 def test_serial_engine_writes_ledger(clean_serial, tmp_path):
     """workers=1 runs in-process yet still ledgers every event."""
     ledger_path = tmp_path / "run.jsonl"

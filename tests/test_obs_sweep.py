@@ -88,12 +88,20 @@ def test_serial_sweep_emits_heartbeats(tmp_path):
     engine.execute(CELLS)
     events = read_events(engine.ledger_path)
     beats = [ev for ev in events if ev["event"] == "heartbeat"]
-    assert len(beats) == 3  # one per finished job (interval 0)
+    # One beat per job as it starts, plus a final idle beat (interval 0).
+    assert len(beats) == 4
+    for beat in beats[:-1]:
+        # While a job executes in-process the beat must say so — a live
+        # summary of a serial run should never claim the engine is idle.
+        assert beat["running"] == 1
+        assert beat["job"] in {ev["job"] for ev in events
+                               if ev["event"] == "scheduled"}
     for beat in beats:
         assert beat["done"] + beat["running"] + beat["pending"] \
             <= beat["jobs"] == 3
         assert beat["elapsed"] >= 0 and beat["throughput"] >= 0
     assert beats[-1]["done"] == 3 and beats[-1]["pending"] == 0
+    assert beats[-1]["running"] == 0 and "job" not in beats[-1]
 
 
 def test_pooled_sweep_emits_heartbeats(tmp_path):
