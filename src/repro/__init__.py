@@ -15,7 +15,8 @@ Public API tour:
 """
 
 from repro.common import BASE_MACHINE, MachineParams, Mode, Scheme
-from repro.sim import SystemConfig, simulate, standard_configs
+from repro.sim import (SystemConfig, all_configs, hybrid_configs, simulate,
+                       standard_configs)
 from repro.synthetic import WORKLOAD_ORDER, generate
 
 __version__ = "1.0.0"
@@ -28,7 +29,9 @@ __all__ = [
     "SystemConfig",
     "WORKLOAD_ORDER",
     "__version__",
+    "all_configs",
     "generate",
+    "hybrid_configs",
     "simulate",
     "standard_configs",
 ]

@@ -104,6 +104,13 @@ FIGURE3: Dict[str, List[float]] = {
     "BCPref": [0.79, 0.82, 0.81, 0.86],
 }
 
+#: The adaptive hybrid schemes (:func:`repro.sim.config.hybrid_configs`),
+#: beyond the paper's eight.  They have no published targets — the
+#: calibration report skips them, and the ``hybrid`` comparison table
+#: (:func:`repro.analysis.tables.hybrid_table`) measures them against the
+#: paper's own schemes on the generated workload families instead.
+HYBRID_SCHEMES: List[str] = ["Hyb_UpdN", "Hyb_Deg", "Hyb_Static"]
+
 #: Figure 5 — fraction of OS misses remaining under BCPref.
 FIGURE5_BCPREF: List[float] = [0.23, 0.21, 0.27, 0.28]
 

@@ -4,7 +4,7 @@ Modes::
 
     python -m repro.check --rounds 200 --seed 0
         Fuzz: every round generates one adversarial trace and runs it
-        under all eight schemes with the oracle + invariant checker
+        under every registered scheme with the oracle + invariant checker
         armed; even-seeded (race-free) rounds additionally diff each
         scheme's final architectural memory against Base.  A failure is
         shrunk to a minimal trace, saved, and reported with the exact
@@ -20,7 +20,7 @@ Modes::
     python -m repro.check --profiles --samples 20 --seed 0 --scale 0.04
         Generated-workload conformance: sample seeded random workloads
         from the profile sweep generator (repro.synthetic.generator) and
-        run each full synthetic-kernel trace under all eight schemes
+        run each full synthetic-kernel trace under every registered scheme
         with the oracle + invariant checker armed.  Failing traces are
         saved for ``--replay``.  Exit 1 on any failure.
 

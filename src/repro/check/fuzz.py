@@ -37,7 +37,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.common.errors import ConformanceError
 from repro.check.mutants import MUTANTS
-from repro.sim.config import standard_configs
+from repro.sim.config import all_configs
 from repro.trace import record as rec
 from repro.trace import textio
 from repro.trace.stream import Trace, TraceBuilder
@@ -74,8 +74,8 @@ META_SEED = "check_seed"
 
 
 def fuzz_configs() -> List[str]:
-    """Configuration names the fuzzer sweeps (all eight schemes)."""
-    return list(standard_configs())
+    """Configuration names the fuzzer sweeps (every registered scheme)."""
+    return list(all_configs())
 
 
 def sync_words() -> List[int]:
@@ -271,7 +271,7 @@ def run_trace(trace: Trace, config_name: str, *,
               mutant_name: str = "") -> CaseResult:
     """Simulate *trace* under *config_name* with the checker armed."""
     from repro.sim.system import MultiprocessorSystem
-    config = standard_configs()[config_name]
+    config = all_configs()[config_name]
     ctx = (MUTANTS[mutant_name][0]() if mutant_name
            else contextlib.nullcontext())
     with ctx:
@@ -394,7 +394,7 @@ def run_workload_trace(trace: Trace, config_name: str) -> CaseResult:
     from repro.sim.system import MultiprocessorSystem
     from repro.synthetic.layout import SYNC_PAGE
     machine = _workload_machine(trace.num_cpus)
-    config = standard_configs(machine)[config_name]
+    config = all_configs(machine)[config_name]
     system = MultiprocessorSystem(trace, config, update_pages=[SYNC_PAGE],
                                   check=True)
     try:
@@ -577,7 +577,7 @@ def replay(path: str) -> CaseResult:
     config_name = str(trace.metadata.get(META_CONFIG, "Base"))
     mutant_name = str(trace.metadata.get(META_MUTANT, ""))
     pages = trace.metadata.get(META_UPDATE_PAGES, [UPDATE_PAGE])
-    config = standard_configs(_workload_machine(trace.num_cpus))[config_name]
+    config = all_configs(_workload_machine(trace.num_cpus))[config_name]
     ctx = (MUTANTS[mutant_name][0]() if mutant_name
            else contextlib.nullcontext())
     with ctx:

@@ -16,6 +16,14 @@ moment the protocol diverges from the reference model:
   pre-existing remote sharer resident (update, not invalidate);
 * **write-buffer order** — FIFO entries must retire in non-decreasing
   completion order;
+* **adaptive-policy conformance** — when a hybrid scheme's policy
+  (:mod:`repro.memsys.adaptive`) is attached, every bus-level write
+  decision is re-derived by an independent shadow model
+  (:class:`_AdaptiveShadow`): a live update counter outside ``[0, N]``
+  is ``adaptive-counter-range``, a broadcast update delivered to a copy
+  whose budget is exhausted is ``update-past-budget``, and any other
+  divergence between the policy's decision and the shadow's is
+  ``adaptive-decision-mismatch``;
 * **final diff** — after the run, every resident clean line must match
   memory, every dirty line must hold the latest values, every
   architecturally written value must still be reachable (no lost
@@ -34,9 +42,10 @@ moves data, so mutated protocol logic cannot dodge the model.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.common.errors import ConformanceError
+from repro.common.types import AdaptivePolicy
 from repro.check.oracle import (INIT, ReferenceMemory, WORD_BYTES, ZERO,
                                 word_of)
 from repro.memsys.hierarchy import (LEVEL_BUFFER, LEVEL_L2, LEVEL_MEM,
@@ -66,6 +75,91 @@ class _AlwaysPending:
         return True
 
 
+class _AdaptiveShadow:
+    """Independent model of the attached adaptive update/invalidate policy.
+
+    Rebuilt from the policy's
+    :meth:`~repro.memsys.adaptive.BaseAdaptivePolicy.describe` parameters
+    only — deliberately *not* from the policy classes themselves, so a
+    mutated policy (:mod:`repro.check.mutants`) is judged against clean
+    logic.  Residency and budget resets are fed by the same controller
+    events the oracle sees (fills and invalidations); every bus-level
+    write decision is re-derived here and compared against the policy's
+    in :meth:`ConformanceChecker.adaptive_decision`.
+    """
+
+    def __init__(self, params: Dict[str, object]) -> None:
+        self.kind = params["kind"]
+        self.page_bytes = params["page_bytes"]
+        self.n = params.get("n")
+        self.threshold = params.get("threshold")
+        self.pages = set(params.get("pages") or ())
+        self._resident: Dict[int, Set[int]] = {}
+        self._budget: Dict[Tuple[int, int], int] = {}
+        self._invalidate_mode: Set[int] = set()
+
+    # -- residency events (mirroring the policy's on_fill/on_invalidate)
+    def on_fill(self, cpu: int, line: int) -> None:
+        self._resident.setdefault(line, set()).add(cpu)
+        self._budget.pop((cpu, line), None)
+
+    def on_invalidate(self, cpu: int, line: int) -> None:
+        self._budget.pop((cpu, line), None)
+        holders = self._resident.get(line)
+        if holders is None:
+            return
+        holders.discard(cpu)
+        if not holders:
+            del self._resident[line]
+            self._invalidate_mode.discard(line)
+
+    # -- the clean decision logic
+    def expected(self, cpu: int, addr: int, line: int,
+                 holders: List[int]) -> Tuple[bool, Tuple[int, ...],
+                                              Tuple[int, ...]]:
+        """The ``(update, to_update, to_invalidate)`` a clean policy would
+        pick; pure — shadow state is advanced separately by :meth:`apply`.
+        """
+        if self.kind == AdaptivePolicy.UPDATE_N:
+            n = self.n
+            up = tuple(i for i in holders
+                       if self._budget.get((i, line), n) > 0)
+            if not up:
+                return (False, (), tuple(holders))
+            inv = tuple(i for i in holders
+                        if self._budget.get((i, line), n) <= 0)
+            return (True, up, inv)
+        if self.kind == AdaptivePolicy.DEGREE:
+            degree = len(holders)
+            if degree == 0:
+                return (False, (), ())
+            if line in self._invalidate_mode or degree > self.threshold:
+                return (False, (), tuple(holders))
+            return (True, tuple(holders), ())
+        page = addr - (addr % self.page_bytes)
+        if page in self.pages:
+            return (True, tuple(holders), ())
+        return (False, (), tuple(holders))
+
+    def apply(self, cpu: int, addr: int, line: int, holders: List[int],
+              expected) -> None:
+        """Advance shadow state past a verified decision."""
+        update, to_update, _ = expected
+        if self.kind == AdaptivePolicy.UPDATE_N:
+            # The write is a bus-visible local re-reference by the writer.
+            self._budget.pop((cpu, line), None)
+            if update:
+                n = self.n
+                for i in to_update:
+                    self._budget[(i, line)] = (
+                        self._budget.get((i, line), n) - 1)
+        elif self.kind == AdaptivePolicy.DEGREE:
+            if not holders:
+                self._invalidate_mode.discard(line)
+            elif not update:
+                self._invalidate_mode.add(line)
+
+
 class ConformanceChecker:
     """Mirrors protocol data movement into the oracle and checks it."""
 
@@ -81,6 +175,10 @@ class ConformanceChecker:
         self.accesses_checked = 0
         #: Pre-write remote sharers of an update-page line, per CPU.
         self._update_sharers: Dict[int, Tuple[int, List[int]]] = {}
+        #: Shadow model of the adaptive policy, when one is attached.
+        adaptive = self.controller.adaptive
+        self._shadow = (_AdaptiveShadow(adaptive.describe())
+                        if adaptive is not None else None)
 
     # ------------------------------------------------------------------
     # Error helper
@@ -95,6 +193,8 @@ class ConformanceChecker:
     def invalidate(self, cpu: int, line: int) -> None:
         """*cpu*'s copy of *line* was invalidated."""
         self.oracle.drop_line(cpu, line)
+        if self._shadow is not None:
+            self._shadow.on_invalidate(cpu, line)
 
     def fill_from_memory(self, cpu: int, line: int) -> None:
         """Memory supplies *line* to *cpu* (staged until the L2 install)."""
@@ -136,10 +236,62 @@ class ConformanceChecker:
             self._fail("unstaged-fill",
                        f"cpu {cpu} installed line {line:#x} that no bus "
                        f"transfer supplied", cpu=cpu, line=line)
+        if self._shadow is not None:
+            if evicted != -1:
+                self._shadow.on_invalidate(cpu, evicted)
+            self._shadow.on_fill(cpu, line)
 
     def update_word(self, cpu: int, addr: int, holders: List[int]) -> None:
         """Firefly broadcast of *addr*'s word to the listed holders."""
         self.oracle.firefly_update(addr, holders)
+
+    def adaptive_decision(self, cpu: int, addr: int, line: int,
+                          decision) -> None:
+        """The adaptive policy routed a bus-level write; re-derive it.
+
+        Called from :meth:`~repro.memsys.coherence.CoherenceController.
+        upgrade` / ``fetch_owned`` right after the policy decided, before
+        the route executes.  The shadow recomputes the decision the clean
+        logic would make from the controller's actual port states and its
+        own replayed budget/epoch state.
+        """
+        shadow = self._shadow
+        policy = self.controller.adaptive
+        if shadow.kind == AdaptivePolicy.UPDATE_N:
+            for (i, l), left in policy.counters():
+                if not 0 <= left <= shadow.n:
+                    self._fail(
+                        "adaptive-counter-range",
+                        f"update budget of cpu {i} line {l:#x} is {left}, "
+                        f"outside [0, {shadow.n}]", cpu=i, line=l,
+                        budget=left, n=shadow.n)
+        ports = self.controller.ports
+        holders = [i for i, p in enumerate(ports)
+                   if i != cpu
+                   and p.l2.state_of(line) != LineState.INVALID]
+        expected = shadow.expected(cpu, addr, line, holders)
+        exp_update, exp_up, exp_inv = expected
+        if (shadow.kind == AdaptivePolicy.UPDATE_N and decision.update):
+            past = sorted(set(decision.to_update) & set(exp_inv))
+            if past:
+                self._fail(
+                    "update-past-budget",
+                    f"write to {addr:#x} by cpu {cpu} broadcast an update "
+                    f"to cpus {past} whose budgets are exhausted",
+                    cpu=cpu, addr=addr, line=line, past=past)
+        if (decision.update != exp_update
+                or set(decision.to_update) != set(exp_up)
+                or set(decision.to_invalidate) != set(exp_inv)):
+            self._fail(
+                "adaptive-decision-mismatch",
+                f"write to {addr:#x} by cpu {cpu}: policy decided "
+                f"(update={decision.update}, to_update="
+                f"{sorted(decision.to_update)}, to_invalidate="
+                f"{sorted(decision.to_invalidate)}) but the shadow "
+                f"expects (update={exp_update}, to_update="
+                f"{sorted(exp_up)}, to_invalidate={sorted(exp_inv)})",
+                cpu=cpu, addr=addr, line=line)
+        shadow.apply(cpu, addr, line, holders, expected)
 
     def writeback(self, cpu: int, line: int) -> None:
         """*cpu* flushed *line* to memory, keeping its copy."""

@@ -38,7 +38,14 @@ def skip_invalidation() -> Iterator[None]:
         state = port.l2.state_of(line)
         if state == LineState.INVALID:
             raise SimulationError(f"upgrade of non-resident line {line:#x}")
-        if self.is_update_addr(addr):
+        if self.adaptive is not None:
+            decision = self.adaptive.decide(cpu, addr, line,
+                                            self._holders(line, cpu))
+            if self.checker is not None:
+                self.checker.adaptive_decision(cpu, addr, line, decision)
+            if decision.update:
+                return self.adaptive_update(cpu, addr, t, decision)
+        elif self.is_update_addr(addr):
             return self.broadcast_update(cpu, addr, t)
         grant = self.bus.acquire(t, self.bus.params.invalidate_cycles,
                                  BusOp.INVALIDATE)
@@ -158,6 +165,114 @@ def dma_stale_source() -> Iterator[None]:
         CoherenceController.dma_snoop_src = orig
 
 
+@contextlib.contextmanager
+def adaptive_counter_stuck() -> Iterator[None]:
+    """The update-N policy never decrements its budgets.
+
+    Every remote copy looks perpetually fresh, so broadcasts keep going
+    to copies whose budget the clean logic says is exhausted.  Expected
+    catch: ``update-past-budget`` on the (N+1)-th consecutive update to
+    the same copy.
+    """
+    from repro.memsys.adaptive import AdaptiveDecision, UpdateNPolicy
+    orig = UpdateNPolicy.decide
+
+    def decide(self, cpu, addr, line, holders):
+        self._budget.pop((cpu, line), None)
+        budget = self._budget
+        n = self.n
+        to_update = []
+        to_invalidate = []
+        for i in holders:
+            if budget.get((i, line), n) > 0:
+                to_update.append(i)
+            else:
+                to_invalidate.append(i)
+        if not to_update:
+            self.invalidate_writes += 1
+            return AdaptiveDecision(False, (), tuple(holders))
+        # BUG: the per-copy budgets are never decremented.
+        self.update_writes += 1
+        self.budget_drops += len(to_invalidate)
+        return AdaptiveDecision(True, tuple(to_update),
+                                tuple(to_invalidate))
+
+    UpdateNPolicy.decide = decide
+    try:
+        yield
+    finally:
+        UpdateNPolicy.decide = orig
+
+
+@contextlib.contextmanager
+def adaptive_threshold_off_by_one() -> Iterator[None]:
+    """The degree policy switches one sharer too late.
+
+    A write seeing exactly ``threshold + 1`` remote copies still
+    broadcasts an update instead of switching the line to invalidate
+    mode.  Expected catch: ``adaptive-decision-mismatch`` at that write.
+    """
+    from repro.memsys.adaptive import AdaptiveDecision, DegreePolicy
+    orig = DegreePolicy.decide
+
+    def decide(self, cpu, addr, line, holders):
+        degree = len(holders)
+        if degree == 0:
+            self._invalidate_mode.discard(line)
+            self.invalidate_writes += 1
+            return AdaptiveDecision(False, (), ())
+        # BUG: off-by-one — the switch fires at threshold + 2 sharers.
+        if line in self._invalidate_mode or degree > self.threshold + 1:
+            self._invalidate_mode.add(line)
+            self.invalidate_writes += 1
+            return AdaptiveDecision(False, (), tuple(holders))
+        self.update_writes += 1
+        return AdaptiveDecision(True, tuple(holders), ())
+
+    DegreePolicy.decide = decide
+    try:
+        yield
+    finally:
+        DegreePolicy.decide = orig
+
+
+@contextlib.contextmanager
+def stale_update_after_switch() -> Iterator[None]:
+    """The update transaction never drops the over-budget copies.
+
+    The decision is computed correctly, but the snoop-side partial
+    invalidation is lost: copies past their budget stay resident *and*
+    miss the broadcast data.  Expected catch: ``owned-and-shared`` at the
+    write when every copy is over budget, or a ``stale-read`` /
+    ``clean-copy-diverged`` when a surviving stale copy is consulted.
+    """
+    orig = CoherenceController.adaptive_update
+
+    def adaptive_update(self, cpu, addr, t, decision):
+        line = self._l2_line(addr)
+        port = self.ports[cpu]
+        if port.l2.state_of(line) == LineState.INVALID:
+            raise SimulationError(f"update of non-resident line {line:#x}")
+        grant = self.bus.acquire(t, self.bus.params.update_cycles,
+                                 BusOp.UPDATE)
+        # BUG: decision.to_invalidate is never dropped — those copies
+        # stay resident with pre-write data.
+        if self.checker is not None:
+            self.checker.update_word(cpu, addr, list(decision.to_update))
+        self.updates_sent += 1
+        if decision.to_update:
+            port.l2.set_state(line, LineState.SHARED)
+        else:
+            port.l2.set_state(line, LineState.MODIFIED)
+        return grant + self.bus.params.update_cycles
+
+    CoherenceController.adaptive_update = adaptive_update
+    try:
+        yield
+    finally:
+        CoherenceController.adaptive_update = orig
+
+
 #: name -> (mutant context manager, configurations that can expose it).
 MUTANTS: Dict[str, Tuple[Callable[[], "contextlib.AbstractContextManager"],
                          Tuple[str, ...]]] = {
@@ -168,6 +283,10 @@ MUTANTS: Dict[str, Tuple[Callable[[], "contextlib.AbstractContextManager"],
     "lost_dirty_bit": (lost_dirty_bit, ("Base", "Blk_Dma")),
     "dma_stale_source": (dma_stale_source,
                          ("Blk_Dma", "BCoh_Reloc", "BCoh_RelUp", "BCPref")),
+    "adaptive_counter_stuck": (adaptive_counter_stuck, ("Hyb_UpdN",)),
+    "adaptive_threshold_off_by_one": (adaptive_threshold_off_by_one,
+                                      ("Hyb_Deg",)),
+    "stale_update_after_switch": (stale_update_after_switch, ("Hyb_UpdN",)),
 }
 
 

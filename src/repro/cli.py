@@ -41,7 +41,7 @@ from typing import List, Optional
 from repro.common.errors import ProfileError
 from repro.common.types import Mode
 from repro.experiments.artifacts import DEFAULT_CACHE_DIR
-from repro.sim.config import standard_configs
+from repro.sim.config import all_configs
 from repro.sim.system import simulate
 from repro.synthetic.profiles import (PROFILE_ORDER, available_profiles,
                                       generate, load_profile,
@@ -133,6 +133,13 @@ def cmd_inspect(args: argparse.Namespace) -> int:
 
 def cmd_simulate(args: argparse.Namespace) -> int:
     from repro.common.errors import ConformanceError
+    # Scheme names are machine-independent: validate them up front, before
+    # any (possibly expensive) trace load or generation happens, so a typo
+    # fails as fast as an unknown --profile-spec does.
+    if args.config not in all_configs():
+        print(f"unknown config {args.config!r}; choose from "
+              f"{list(all_configs())}", file=sys.stderr)
+        return 2
     if os.path.exists(args.input) and not args.profile_spec:
         trace = _load_trace(args.input)
     else:
@@ -143,11 +150,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         trace = generate(name, seed=args.seed, scale=args.scale,
                          frame_policy=args.frame_policy)
     machine = _machine_for(trace.num_cpus)
-    configs = standard_configs(machine)
-    if args.config not in configs:
-        print(f"unknown config {args.config!r}; choose from "
-              f"{list(configs)}", file=sys.stderr)
-        return 2
+    configs = all_configs(machine)
     tracer = None
     if args.trace_out or args.profile or args.timeline:
         from repro.obs import Tracer
@@ -215,7 +218,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         return 2
     config_names = [c.strip() for c in args.configs.split(",") if c.strip()]
     machine = _machine_for(max(cpus))
-    configs = standard_configs(machine)
+    configs = all_configs(machine)
     unknown = [c for c in config_names if c not in configs]
     if unknown:
         print(f"unknown configs {unknown}; choose from {list(configs)}",

@@ -14,6 +14,9 @@ These types mirror the vocabulary of the paper:
   (block-operation, coherence, other; displacement and reuse subtypes).
 * :class:`Scheme` — the block-operation handling schemes of section 4.2.
 * :class:`BlockOpKind` — copy versus zero-fill block operations.
+* :class:`AdaptivePolicy` — the per-line adaptive update/invalidate
+  hybrids (``repro.memsys.adaptive``) generalizing the paper's
+  ``BCoh_RelUp`` selective-update scheme.
 """
 
 from __future__ import annotations
@@ -121,6 +124,28 @@ class Scheme(enum.IntEnum):
     BYPREF = 3
     #: DMA-like transfer on the bus, processor stalled (Blk_Dma).
     DMA = 4
+
+
+class AdaptivePolicy(enum.IntEnum):
+    """Per-line adaptive update/invalidate policy of a hybrid scheme.
+
+    Selected by :attr:`~repro.sim.config.SystemConfig.adaptive`;
+    ``None`` there means the plain protocol (invalidate, or the page-set
+    Firefly of ``selective_update``) with no adaptive layer attached.
+    """
+
+    #: Competitive update-N-then-invalidate: each remote copy receives
+    #: at most N consecutive broadcast updates without a bus-visible
+    #: local re-reference, then is dropped from the broadcast set.
+    UPDATE_N = 0
+    #: Sharing-degree switching: update while the number of remote
+    #: sharers stays within a threshold, switch the line to invalidate
+    #: mode (for the rest of its sharing epoch) when it exceeds it.
+    DEGREE = 1
+    #: Static per-page hybrid: unbounded updates on the configured pages
+    #: (the paper's BCoh_RelUp as the N=infinity special case),
+    #: invalidate everywhere else.
+    STATIC = 2
 
 
 #: Fast Mode lookup used by the simulator hot path.  ``Mode(value)`` runs

@@ -106,14 +106,14 @@ class SweepRequest:
 
     def validate(self) -> None:
         """Resolve every workload and scheme name, or raise 400."""
-        from repro.sim.config import standard_configs
+        from repro.sim.config import all_configs
         from repro.synthetic.profiles import get_profile
         for name in self.workloads:
             try:
                 get_profile(name)
             except (KeyError, ProfileError) as err:
                 raise BadRequestError(f"unknown workload {name!r}: {err}")
-        configs = standard_configs()
+        configs = all_configs()
         unknown = [c for c in self.configs if c not in configs]
         if unknown:
             raise BadRequestError(f"unknown configs {unknown}; choose "

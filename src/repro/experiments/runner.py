@@ -43,7 +43,7 @@ from repro.experiments.faults import RetryPolicy
 from repro.optim.hotspots import HotspotPrefetcher, find_hotspots
 from repro.optim.privatize import privatize_and_relocate
 from repro.optim.update_select import UpdateSelection, select_update_core
-from repro.sim.config import SystemConfig, standard_configs
+from repro.sim.config import SystemConfig, all_configs, standard_configs
 from repro.sim.metrics import SystemMetrics
 from repro.sim.system import simulate
 from repro.synthetic.profiles import generate
@@ -218,7 +218,7 @@ class ExperimentRunner:
         key = SimKey.of(workload, config_name, machine)
         if key in self._metrics:
             return self._metrics[key]
-        config = standard_configs(machine)[config_name]
+        config = all_configs(machine)[config_name]
         metrics = self._run_config(workload, config)
         self._metrics[key] = metrics
         return metrics

@@ -17,6 +17,14 @@ words, hot locks and producer-consumer variables selected in section 5.2.
 Writes to those pages broadcast the new data instead of invalidating, so
 the other processors' copies stay valid and their coherence misses
 disappear, at the cost of update traffic on the bus.
+
+The *adaptive* hybrid schemes (:mod:`repro.memsys.adaptive`) generalize
+that page-set rule to per-line update/invalidate decisions.  When a
+policy is attached (:attr:`CoherenceController.adaptive`), every
+bus-level write consults it instead of :meth:`is_update_addr`: the update
+route runs :meth:`CoherenceController.adaptive_update`, which broadcasts
+to the in-budget holders and drops the rest in the same bus transaction;
+the invalidate route is the unmodified MESI path.
 """
 
 from __future__ import annotations
@@ -59,6 +67,11 @@ class CoherenceController:
         #: :func:`repro.obs.tracer.attach_tracer`; consulted by explicit
         #: hooks on paths no instance wrapper can see (the DMA engine).
         self.tracer = None
+        #: Adaptive update/invalidate policy
+        #: (:mod:`repro.memsys.adaptive`), or None.  Consulted only on
+        #: the bus-level write paths, so the disabled cost is one
+        #: attribute test per bus write.
+        self.adaptive = None
         #: Page-aligned base addresses running the Firefly update protocol.
         self.update_pages: Set[int] = set()
         #: Run Firefly update on *every* address (the pure-update
@@ -123,11 +136,14 @@ class CoherenceController:
         """Invalidate every other cache's copy of *line*; returns count."""
         count = 0
         checker = self.checker
+        adaptive = self.adaptive
         for i in self._holders(line, cpu):
             self.ports[i].l2.set_state(line, LineState.INVALID)
             self._drop_from_l1(i, line, coherence=True)
             if checker is not None:
                 checker.invalidate(i, line)
+            if adaptive is not None:
+                adaptive.on_invalidate(i, line)
             count += 1
         self.invalidations_sent += count
         return count
@@ -152,6 +168,10 @@ class CoherenceController:
         if self.checker is not None:
             self.checker.l2_install(cpu, line, evicted,
                                     evicted_state == LineState.MODIFIED)
+        if self.adaptive is not None:
+            if evicted != -1:
+                self.adaptive.on_invalidate(cpu, evicted)
+            self.adaptive.on_fill(cpu, line)
 
     # ------------------------------------------------------------------
     # Demand read path
@@ -227,14 +247,23 @@ class CoherenceController:
         """S -> M upgrade: invalidate other copies.  Returns completion.
 
         For Firefly-update addresses this becomes a broadcast update
-        instead and the line stays SHARED.
+        instead and the line stays SHARED.  An attached adaptive policy
+        replaces that page-set rule: its decision routes the write to
+        :meth:`adaptive_update` or to the invalidation below.
         """
         line = self._l2_line(addr)
         port = self.ports[cpu]
         state = port.l2.state_of(line)
         if state == LineState.INVALID:
             raise SimulationError(f"upgrade of non-resident line {line:#x}")
-        if self.is_update_addr(addr):
+        if self.adaptive is not None:
+            decision = self.adaptive.decide(cpu, addr, line,
+                                            self._holders(line, cpu))
+            if self.checker is not None:
+                self.checker.adaptive_decision(cpu, addr, line, decision)
+            if decision.update:
+                return self.adaptive_update(cpu, addr, t, decision)
+        elif self.is_update_addr(addr):
             return self.broadcast_update(cpu, addr, t)
         grant = self.bus.acquire(t, self.bus.params.invalidate_cycles,
                                  BusOp.INVALIDATE)
@@ -246,10 +275,19 @@ class CoherenceController:
         """Write miss at L2: read-for-ownership.  Returns ready time.
 
         Firefly-update addresses instead fetch SHARED and broadcast the
-        write, leaving remote copies valid.
+        write, leaving remote copies valid.  An attached adaptive policy
+        replaces that page-set rule with its per-line decision.
         """
         line = self._l2_line(addr)
-        if self.is_update_addr(addr):
+        if self.adaptive is not None:
+            decision = self.adaptive.decide(cpu, addr, line,
+                                            self._holders(line, cpu))
+            if self.checker is not None:
+                self.checker.adaptive_decision(cpu, addr, line, decision)
+            if decision.update:
+                ready = self.fetch_shared(cpu, addr, t)
+                return self.adaptive_update(cpu, addr, ready, decision)
+        elif self.is_update_addr(addr):
             ready = self.fetch_shared(cpu, addr, t)
             return self.broadcast_update(cpu, addr, ready)
         dirty = self._dirty_holder(line, cpu)
@@ -287,6 +325,42 @@ class CoherenceController:
             port.l2.set_state(line, LineState.MODIFIED)
         return grant + self.bus.params.update_cycles
 
+    def adaptive_update(self, cpu: int, addr: int, t: int,
+                        decision) -> int:
+        """Adaptive write to a shared line: update some holders, drop
+        the rest.
+
+        Mirrors :meth:`broadcast_update`'s bus timing exactly — one
+        UPDATE transaction of ``update_cycles`` — because the
+        over-budget subset is dropped by the holders' own snoop logic
+        riding on that same transaction (a partial invalidation costs no
+        extra bus time).  With an empty ``to_invalidate`` this is
+        bit-identical to :meth:`broadcast_update`, which is what makes
+        ``Hyb_Static`` equal ``BCoh_RelUp`` exactly.
+        """
+        line = self._l2_line(addr)
+        port = self.ports[cpu]
+        if port.l2.state_of(line) == LineState.INVALID:
+            raise SimulationError(f"update of non-resident line {line:#x}")
+        grant = self.bus.acquire(t, self.bus.params.update_cycles, BusOp.UPDATE)
+        checker = self.checker
+        adaptive = self.adaptive
+        for i in decision.to_invalidate:
+            self.ports[i].l2.set_state(line, LineState.INVALID)
+            self._drop_from_l1(i, line, coherence=True)
+            if checker is not None:
+                checker.invalidate(i, line)
+            adaptive.on_invalidate(i, line)
+        self.invalidations_sent += len(decision.to_invalidate)
+        if checker is not None:
+            checker.update_word(cpu, addr, list(decision.to_update))
+        self.updates_sent += 1
+        if decision.to_update:
+            port.l2.set_state(line, LineState.SHARED)
+        else:
+            port.l2.set_state(line, LineState.MODIFIED)
+        return grant + self.bus.params.update_cycles
+
     def write_line_to_memory(self, cpu: int, line_addr: int, t: int,
                              kind: BusOp = BusOp.WRITEBACK,
                              invalidate_remotes: bool = True) -> int:
@@ -308,6 +382,8 @@ class CoherenceController:
                 self._drop_from_l1(cpu, line, coherence=False)
                 if self.checker is not None:
                     self.checker.invalidate(cpu, line)
+                if self.adaptive is not None:
+                    self.adaptive.on_invalidate(cpu, line)
         return grant + transfer
 
     # ------------------------------------------------------------------

@@ -1,6 +1,7 @@
 """Execution model: configurations, processors, metrics, the system loop."""
 
-from repro.sim.config import SystemConfig, standard_configs
+from repro.sim.config import (SystemConfig, all_configs, hybrid_configs,
+                              standard_configs)
 from repro.sim.metrics import BlockOpStats, MissTracker, SystemMetrics, TimeBreakdown
 from repro.sim.processor import ProcStatus, Processor, StepResult
 from repro.sim.sync import BarrierManager, LockTable
@@ -18,6 +19,8 @@ __all__ = [
     "SystemConfig",
     "SystemMetrics",
     "TimeBreakdown",
+    "all_configs",
+    "hybrid_configs",
     "simulate",
     "standard_configs",
 ]

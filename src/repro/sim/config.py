@@ -22,15 +22,29 @@ by the experiment runner before simulation (they model kernel source
 changes); ``selective_update`` configures the coherence controller's
 Firefly pages; ``scheme`` changes how the processor executes block-op
 records.
+
+Beyond the paper's eight, :func:`hybrid_configs` registers the three
+adaptive update/invalidate schemes built on :mod:`repro.memsys.adaptive`:
+
+=============  =========================================================
+Hyb_UpdN       BCoh_Reloc + competitive update-N-then-invalidate (N=4)
+Hyb_Deg        BCoh_Reloc + sharing-degree update->invalidate switching
+Hyb_Static     BCoh_Reloc + unbounded updates on the selected pages
+               (BCoh_RelUp as the N=infinity special case, bit-exactly)
+=============  =========================================================
+
+:func:`all_configs` merges both maps; the CLI, the experiment runner,
+the sweep service and the conformance fuzzer all resolve scheme names
+through it.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.common.params import BASE_MACHINE, MachineParams
-from repro.common.types import Scheme
+from repro.common.types import AdaptivePolicy, Scheme
 
 
 @dataclasses.dataclass(frozen=True)
@@ -51,6 +65,19 @@ class SystemConfig:
     pure_update: bool = False
     #: Insert prefetches at the hottest miss spots (section 6).
     hotspot_prefetch: bool = False
+    #: Per-line adaptive update/invalidate policy
+    #: (:mod:`repro.memsys.adaptive`); ``None`` means no adaptive layer.
+    #: When set, it replaces the page-set Firefly rule — for
+    #: :attr:`AdaptivePolicy.STATIC` the ``selective_update`` pages feed
+    #: the policy instead of the controller.
+    adaptive: Optional[AdaptivePolicy] = None
+    #: Update budget per remote copy for :attr:`AdaptivePolicy.UPDATE_N`
+    #: (0 degenerates to the pure invalidation protocol).
+    adaptive_n: int = 4
+    #: Maximum sharing degree still updated by
+    #: :attr:`AdaptivePolicy.DEGREE` before the line switches to
+    #: invalidate mode for its sharing epoch.
+    degree_threshold: int = 2
     #: Software-pipelining depth, in L1 lines, for Blk_Pref.
     pref_lead_lines: int = 8
     #: Pipelining depth for Blk_ByPref; must stay below the 8-line
@@ -84,3 +111,35 @@ def standard_configs(machine: MachineParams = BASE_MACHINE) -> Dict[str, SystemC
         "BCPref": SystemConfig("BCPref", machine, Scheme.DMA, privatize=True,
                                selective_update=True, hotspot_prefetch=True),
     }
+
+
+def hybrid_configs(machine: MachineParams = BASE_MACHINE) -> Dict[str, SystemConfig]:
+    """The three adaptive hybrid schemes, stacked on ``BCoh_Reloc``.
+
+    All three keep the DMA block-op scheme and the privatization
+    transform, so their only delta against ``BCoh_Reloc``/``BCoh_RelUp``
+    is the write-coherence policy — the comparison the hybrid table
+    isolates.  ``Hyb_Static`` sets ``selective_update`` so the
+    experiment runner derives the same update-page core as for
+    ``BCoh_RelUp``; the pages feed the static policy.
+    """
+    return {
+        "Hyb_UpdN": SystemConfig("Hyb_UpdN", machine, Scheme.DMA,
+                                 privatize=True,
+                                 adaptive=AdaptivePolicy.UPDATE_N,
+                                 adaptive_n=4),
+        "Hyb_Deg": SystemConfig("Hyb_Deg", machine, Scheme.DMA,
+                                privatize=True,
+                                adaptive=AdaptivePolicy.DEGREE,
+                                degree_threshold=2),
+        "Hyb_Static": SystemConfig("Hyb_Static", machine, Scheme.DMA,
+                                   privatize=True, selective_update=True,
+                                   adaptive=AdaptivePolicy.STATIC),
+    }
+
+
+def all_configs(machine: MachineParams = BASE_MACHINE) -> Dict[str, SystemConfig]:
+    """Every registered scheme: the paper's eight plus the hybrids."""
+    configs = standard_configs(machine)
+    configs.update(hybrid_configs(machine))
+    return configs

@@ -76,7 +76,13 @@ class MultiprocessorSystem:
         self.metrics = SystemMetrics(trace.num_cpus, machine.page_bytes)
         if hotspot_pcs:
             self.metrics.hotspot_pcs = set(hotspot_pcs)
-        if config.pure_update:
+        if config.adaptive is not None:
+            # Adaptive schemes own the whole update/invalidate decision:
+            # the pages (if any) feed the policy, never the controller's
+            # page-set rule, so every broadcast goes through the policy.
+            from repro.memsys.adaptive import build_policy
+            self.controller.adaptive = build_policy(config, update_pages)
+        elif config.pure_update:
             self.controller.update_everywhere = True
         elif config.selective_update and update_pages:
             self.controller.set_update_pages(update_pages)

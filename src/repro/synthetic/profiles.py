@@ -8,7 +8,7 @@ intensity mix, syscall/IO/fork rates, sharing degree, rounds, and an
 intensity *pattern* (steady, bursty, diurnal) — that compiles down to the
 same :class:`~repro.synthetic.kernel.Kernel` / ``services`` / ``apps``
 primitives the paper workloads use, so every generated trace stays
-compatible with all eight schemes, the conformance oracle, and the miss
+compatible with every registered scheme, the conformance oracle, and the miss
 tracer.
 
 Three kinds of profile exist:

@@ -1,0 +1,84 @@
+"""Property tests for the adaptive hybrid schemes (Hypothesis).
+
+Three families of properties pin the design contracts of
+:mod:`repro.memsys.adaptive` over randomized adversarial traces (the
+conformance fuzzer's generator, which hammers the shared words and the
+Firefly update page):
+
+* ``Hyb_UpdN`` with N = 0 is *metric-identical* to the pure invalidation
+  protocol (``BCoh_Reloc``'s coherence behavior) — with no budget, every
+  decision routes to the unmodified invalidate path.
+* ``Hyb_Static`` with the update pages configured is metric-identical to
+  ``BCoh_RelUp`` — the static policy is the page-set Firefly rule
+  re-expressed as an always-update decision.
+* Policy state and metrics are deterministic: the same trace simulated
+  twice yields identical counters, residency snapshots, and metrics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from hypothesis import given, settings, strategies as st
+
+from repro.check import fuzz
+from repro.sim.config import all_configs
+from repro.sim.system import MultiprocessorSystem, simulate
+
+CONFIGS = all_configs()
+SEEDS = st.integers(min_value=0, max_value=10_000)
+
+
+def _snapshot(metrics):
+    """Everything a scheme comparison reports, as one comparable tuple."""
+    tb = metrics.os_time()
+    return (metrics.makespan, tb.total, tb.exec_cycles, tb.imiss, tb.dread,
+            tb.dwrite, tb.pref, metrics.os_read_misses(),
+            metrics.data_miss_rate(), metrics.bus_utilization())
+
+
+def _run(trace, config, update_pages=None):
+    return _snapshot(simulate(trace, config, update_pages=update_pages,
+                              check=True))
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=SEEDS, race_free=st.booleans())
+def test_updn_zero_budget_is_pure_invalidate(seed, race_free):
+    """N=0 exhausts every budget up front: no update is ever broadcast,
+    so the hybrid must degenerate to the invalidation protocol exactly."""
+    trace = fuzz.build_trace(fuzz.generate_case(seed, race_free=race_free))
+    zero = dataclasses.replace(CONFIGS["Hyb_UpdN"], adaptive_n=0)
+    assert _run(trace, zero) == _run(trace, CONFIGS["BCoh_Reloc"])
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=SEEDS, race_free=st.booleans())
+def test_static_on_sync_pages_is_bcoh_relup(seed, race_free):
+    """The static per-page hybrid with the sync pages configured is the
+    N=infinity-on-sync-pages special case: bit-identical to BCoh_RelUp."""
+    trace = fuzz.build_trace(fuzz.generate_case(seed, race_free=race_free))
+    pages = [fuzz.UPDATE_PAGE]
+    assert (_run(trace, CONFIGS["Hyb_Static"], update_pages=pages)
+            == _run(trace, CONFIGS["BCoh_RelUp"], update_pages=pages))
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=SEEDS, scheme=st.sampled_from(["Hyb_UpdN", "Hyb_Deg",
+                                           "Hyb_Static"]))
+def test_adaptive_state_is_deterministic(seed, scheme):
+    """Rerunning a trace reproduces the exact policy state and metrics:
+    budgets, residency, epoch modes, and every reported number."""
+    trace = fuzz.build_trace(fuzz.generate_case(seed, race_free=True))
+    pages = [fuzz.UPDATE_PAGE]
+
+    def one_run():
+        system = MultiprocessorSystem(trace, CONFIGS[scheme],
+                                      update_pages=pages)
+        metrics = system.run()
+        policy = system.controller.adaptive
+        return (policy.state_snapshot(), policy.describe(),
+                policy.update_writes, policy.invalidate_writes,
+                policy.budget_drops, _snapshot(metrics))
+
+    assert one_run() == one_run()

@@ -54,7 +54,30 @@ def test_simulate_no_batch_same_report(capsys):
 def test_simulate_unknown_config(capsys):
     assert main(["simulate", "Shell", "--config", "Nope",
                  "--scale", "0.05"]) == 2
-    assert "unknown config" in capsys.readouterr().err
+    err = capsys.readouterr().err
+    assert "unknown config" in err
+    # The listing names every registered scheme, hybrids included.
+    for name in ("Base", "BCoh_RelUp", "Hyb_UpdN", "Hyb_Deg", "Hyb_Static"):
+        assert name in err
+
+
+def test_simulate_unknown_config_rejected_before_trace_work(capsys):
+    # Config validation must run before the workload is resolved or any
+    # trace generated: an unknown config wins over an unknown workload
+    # (same fail-fast contract as --profile-spec), and no trace-side
+    # error message leaks out.
+    assert main(["simulate", "not-a-workload", "--config", "Nope"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown config 'Nope'" in err
+    assert "unknown workload" not in err
+
+
+def test_simulate_hybrid_config(capsys):
+    assert main(["simulate", "Shell", "--config", "Hyb_UpdN",
+                 "--scale", "0.05", "--check"]) == 0
+    out = capsys.readouterr().out
+    assert "config:      Hyb_UpdN" in out
+    assert "conformance: ok" in out
 
 
 def test_report_single_artifact(tmp_path, capsys):

@@ -10,17 +10,19 @@ shrink, save, replay.
 
 from __future__ import annotations
 
+import dataclasses
+
 import pytest
 
 from repro.check import fuzz
 from repro.check.mutants import MUTANTS, mutant
 from repro.common.errors import ConformanceError
-from repro.sim.config import standard_configs
+from repro.sim.config import all_configs
 from repro.sim.system import simulate
 from repro.trace import record as rec
 from repro.trace.stream import TraceBuilder
 
-CONFIGS = standard_configs()
+CONFIGS = all_configs()
 W = 0x40000          # a shared word
 BAR = 0x610000
 #: Instruction address for every directed record.  The default pc=0 maps
@@ -98,18 +100,88 @@ def test_dma_stale_source_caught():
         expect_catch(trace, ("dma-stale-source",), "Blk_Dma")
 
 
+def test_adaptive_counter_stuck_caught():
+    # cpu1 holds a copy of W while cpu0 writes it N+1 times with no
+    # bus-visible re-reference by cpu1: the clean policy drops cpu1 at
+    # write N+1, the stuck-counter mutant keeps broadcasting to it.
+    n = CONFIGS["Hyb_UpdN"].adaptive_n
+    b = TraceBuilder(2)
+    b.emit(0, rec.read(W, pc=PC))
+    b.emit(1, rec.read(W, pc=PC))
+    b.emit(0, rec.barrier(BAR, 2, pc=PC))
+    b.emit(1, rec.barrier(BAR, 2, pc=PC))
+    for _ in range(n + 1):
+        b.emit(0, rec.write(W, pc=PC))
+    trace = b.build()
+    run_checked(trace, "Hyb_UpdN")  # sane without the mutant
+    with mutant("adaptive_counter_stuck"):
+        expect_catch(trace, ("update-past-budget",), "Hyb_UpdN")
+
+
+def test_adaptive_threshold_off_by_one_caught():
+    # A write seeing exactly threshold + 1 remote sharers must switch to
+    # invalidation; the off-by-one mutant still broadcasts an update.
+    threshold = CONFIGS["Hyb_Deg"].degree_threshold
+    sharers = threshold + 1
+    b = TraceBuilder(sharers + 1)
+    for cpu in range(sharers + 1):
+        b.emit(cpu, rec.read(W, pc=PC))
+    for cpu in range(sharers + 1):
+        b.emit(cpu, rec.barrier(BAR, sharers + 1, pc=PC))
+    b.emit(0, rec.write(W, pc=PC))
+    trace = b.build()
+    run_checked(trace, "Hyb_Deg")
+    with mutant("adaptive_threshold_off_by_one"):
+        expect_catch(trace, ("adaptive-decision-mismatch",), "Hyb_Deg")
+
+
+def test_stale_update_after_switch_caught():
+    # With N=1, cpu1's budget is spent by the first update while cpu2
+    # (filled later) still has budget, so the second write must update
+    # cpu2 and drop cpu1 in the same transaction.  The mutant loses the
+    # drop: cpu1 keeps a pre-write copy and reads it.
+    config = dataclasses.replace(CONFIGS["Hyb_UpdN"], adaptive_n=1)
+    b = TraceBuilder(3)
+    b.emit(0, rec.read(W, pc=PC))
+    b.emit(1, rec.read(W, pc=PC))
+    for cpu in range(3):
+        b.emit(cpu, rec.barrier(BAR, 3, pc=PC))
+    b.emit(0, rec.write(W, pc=PC))       # updates cpu1, budget 1 -> 0
+    for cpu in range(3):
+        b.emit(cpu, rec.barrier(BAR + 0x40, 3, pc=PC))
+    b.emit(2, rec.read(W, pc=PC))        # cpu2 fills, fresh budget
+    for cpu in range(3):
+        b.emit(cpu, rec.barrier(BAR + 0x80, 3, pc=PC))
+    b.emit(0, rec.write(W, pc=PC))       # updates cpu2, must drop cpu1
+    for cpu in range(3):
+        b.emit(cpu, rec.barrier(BAR + 0xc0, 3, pc=PC))
+    b.emit(1, rec.read(W, pc=PC))
+    trace = b.build()
+    simulate(trace, config, check=True)  # sane without the mutant
+    with mutant("stale_update_after_switch"):
+        with pytest.raises(ConformanceError) as excinfo:
+            simulate(trace, config, check=True)
+        assert excinfo.value.kind in ("stale-read", "clean-copy-diverged",
+                                      "owned-and-shared"), excinfo.value
+
+
 @pytest.mark.parametrize("name", list(MUTANTS))
 def test_mutant_restores_original(name):
     """Leaving the context restores the pristine protocol methods."""
+    from repro.memsys.adaptive import DegreePolicy, UpdateNPolicy
     from repro.memsys.coherence import CoherenceController
     from repro.memsys.hierarchy import CpuMemorySystem
-    before = (CoherenceController.upgrade, CoherenceController.fetch_shared,
-              CoherenceController.dma_snoop_src, CpuMemorySystem._drain_word)
+    def methods():
+        return (CoherenceController.upgrade,
+                CoherenceController.fetch_shared,
+                CoherenceController.dma_snoop_src,
+                CoherenceController.adaptive_update,
+                CpuMemorySystem._drain_word,
+                UpdateNPolicy.decide, DegreePolicy.decide)
+    before = methods()
     with mutant(name):
         pass
-    after = (CoherenceController.upgrade, CoherenceController.fetch_shared,
-             CoherenceController.dma_snoop_src, CpuMemorySystem._drain_word)
-    assert before == after
+    assert methods() == before
 
 
 @pytest.mark.slow

@@ -4,7 +4,7 @@ The profile sweep generator emits full synthetic-kernel traces the
 adversarial micro-trace fuzzer never covers (page faults, fork churn,
 file I/O through the buffer cache, network receives).  Every sampled
 workload must run clean under the reference memory oracle and the
-MESI/Firefly invariant checker for all eight scheme configurations —
+MESI/Firefly invariant checker for every registered scheme configuration —
 the pytest-shaped slice of ``python -m repro.check --profiles``.
 """
 

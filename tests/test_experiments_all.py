@@ -5,8 +5,10 @@ import time as real_time
 
 import pytest
 
+from repro.analysis.tables import HYBRID_COMPARE_SCHEMES, HYBRID_FAMILIES
 from repro.experiments import all as all_mod
-from repro.experiments.all import ARTIFACT_ORDER, main, run_all
+from repro.experiments.all import (ARTIFACT_ORDER, EXTRA_ARTIFACTS,
+                                   artifact_cells, main, run_all)
 
 
 def test_artifact_order_covers_everything():
@@ -15,6 +17,18 @@ def test_artifact_order_covers_everything():
         "table1", "table2", "table3", "table4", "table5"}
     assert {n for n in ARTIFACT_ORDER if n.startswith("figure")} == {
         f"figure{i}" for i in range(1, 8)}
+    assert EXTRA_ARTIFACTS == ["hybrid"]
+
+
+def test_hybrid_artifact_has_parallel_cells():
+    # The parallel engine pre-computes artifact_cells(name); the hybrid
+    # table must declare its full family x scheme grid or --workers > 1
+    # crashes on it while --workers 1 silently works.
+    cells = artifact_cells("hybrid")
+    assert {(w, s) for (w, s, _) in cells} == {
+        (w, s) for w in HYBRID_FAMILIES
+        for s in ["Base"] + HYBRID_COMPARE_SCHEMES}
+    assert all(machine is None for (_, _, machine) in cells)
 
 
 def test_run_all_selected_artifacts():

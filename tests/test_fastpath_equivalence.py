@@ -31,7 +31,7 @@ from repro.common.types import DataClass, Mode
 from repro.memsys.bus import Bus
 from repro.memsys.coherence import CoherenceController
 from repro.memsys.hierarchy import CpuMemorySystem
-from repro.sim.config import standard_configs
+from repro.sim.config import all_configs, standard_configs
 from repro.sim.metrics import MissTracker
 from repro.sim.system import REPRO_NO_BATCH_ENV, MultiprocessorSystem
 from repro.synthetic.profiles import generate as generate_profile
@@ -40,7 +40,11 @@ from repro.trace.stream import TraceBuilder
 
 PURE_SCHEMES = ["Base", "Blk_Pref", "Blk_Bypass", "Blk_ByPref", "Blk_Dma"]
 
-ALL_SCHEMES = list(standard_configs())
+#: Every registered scheme — the paper's eight plus the three
+#: adaptive hybrids, whose policies are consulted only on the
+#: controller's bus-level write paths (which the batched tier
+#: never enters), so batched == scalar must hold for them too.
+ALL_SCHEMES = list(all_configs())
 
 PAPER_WORKLOADS = ["TRFD_4", "TRFD+Make", "ARC2D+Fsck", "Shell"]
 GENERATED_PROFILES = ["server", "bursty_mp", "gang_diurnal"]
@@ -202,7 +206,7 @@ def profile_trace(name: str, scale: float = MATRIX_SCALE):
 def scalar_snapshot(name: str, scheme: str):
     """Reference scalar-mode snapshot for a (workload, scheme) cell."""
     trace = profile_trace(name)
-    config = standard_configs()[scheme]
+    config = all_configs()[scheme]
     return MultiprocessorSystem(trace, config, batch=False).run().snapshot()
 
 
@@ -215,16 +219,16 @@ class TestBatchedSchedulerEquivalence:
                              PAPER_WORKLOADS + GENERATED_PROFILES)
     def test_batched_matches_scalar(self, workload, scheme):
         trace = profile_trace(workload)
-        config = standard_configs()[scheme]
+        config = all_configs()[scheme]
         system = MultiprocessorSystem(trace, config, batch=True)
         batched = system.run().snapshot()
         assert batched == scalar_snapshot(workload, scheme)
 
-    @pytest.mark.parametrize("scheme", ["Base", "Blk_Dma"])
+    @pytest.mark.parametrize("scheme", ["Base", "Blk_Dma", "Hyb_UpdN"])
     def test_batched_matches_scalar_fast(self, scheme):
         """A two-cell subset of the matrix for the quick CI lane."""
         trace = profile_trace("Shell")
-        config = standard_configs()[scheme]
+        config = all_configs()[scheme]
         system = MultiprocessorSystem(trace, config, batch=True)
         batched = system.run().snapshot()
         # The hit-dominated cells must actually exercise the batched

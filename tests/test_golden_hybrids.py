@@ -1,0 +1,84 @@
+"""Golden-value regression tests for the adaptive hybrid schemes.
+
+Mirrors tests/test_golden_profiles.py for the ``Hyb_*`` family: pins the
+exact simulator output of ``Hyb_UpdN`` (N=4) and ``Hyb_Deg`` on the
+``server`` profile at ``scale=0.25, seed=1996`` under Base machine
+parameters, so refactors of the adaptive policy layer, the coherence
+controller's decision routing, or the update transaction's timing cannot
+silently drift.  The pipeline is deterministic integer/rational
+arithmetic: any change in these numbers is a behaviour change.
+
+If a change is *supposed* to alter them, rerun the recording snippet and
+update GOLDEN in the same commit, explaining why::
+
+    PYTHONPATH=src python - <<'EOF'
+    from repro.experiments.runner import ExperimentRunner
+    r = ExperimentRunner(scale=0.25, seed=1996)
+    for c in ("Hyb_UpdN", "Hyb_Deg", "BCoh_Reloc"):
+        m = r.run("server", c)
+        print(c, m.makespan, m.os_time().total, m.os_read_misses(),
+              m.data_miss_rate())
+    EOF
+"""
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+
+SCALE = 0.25
+SEED = 1996
+
+#: Recorded at scale=0.25, seed=1996.
+GOLDEN = {
+    "Hyb_UpdN": {
+        "makespan": 299425,
+        "os_time": 809925,
+        "os_misses": 2812,
+        "miss_rate": 0.17757510729613735,
+    },
+    "Hyb_Deg": {
+        "makespan": 302419,
+        "os_time": 814755,
+        "os_misses": 2848,
+        "miss_rate": 0.17906074612083195,
+    },
+    "BCoh_Reloc": {
+        "makespan": 303032,
+        "os_time": 832915,
+        "os_misses": 2881,
+    },
+}
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(scale=SCALE, seed=SEED)
+
+
+@pytest.mark.parametrize("config", ["Hyb_UpdN", "Hyb_Deg"])
+def test_hybrid_metrics_pinned(runner, config):
+    metrics = runner.run("server", config)
+    expected = GOLDEN[config]
+    assert metrics.makespan == expected["makespan"], (
+        f"server/{config}: makespan drifted")
+    assert metrics.os_time().total == expected["os_time"], (
+        f"server/{config}: OS time drifted")
+    assert metrics.os_read_misses() == expected["os_misses"], (
+        f"server/{config}: OS miss count drifted")
+    assert metrics.data_miss_rate() == pytest.approx(
+        expected["miss_rate"], rel=1e-9)
+
+
+def test_hybrids_beat_pure_invalidate(runner):
+    """The qualitative claim under the pins: on the server mix both
+    adaptive hybrids cut coherence cost below pure invalidation
+    (BCoh_Reloc), with the competitive update-N scheme ahead of the
+    degree-switching one."""
+    reloc = runner.run("server", "BCoh_Reloc")
+    updn = runner.run("server", "Hyb_UpdN")
+    deg = runner.run("server", "Hyb_Deg")
+    assert reloc.makespan == GOLDEN["BCoh_Reloc"]["makespan"]
+    assert (updn.os_read_misses() < deg.os_read_misses()
+            < reloc.os_read_misses())
+    assert (updn.os_time().total < deg.os_time().total
+            < reloc.os_time().total)
