@@ -36,6 +36,7 @@ import random
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.common.errors import ConformanceError
+from repro.common.params import machine_for
 from repro.check.mutants import MUTANTS
 from repro.sim.config import all_configs
 from repro.trace import record as rec
@@ -371,16 +372,6 @@ class ProfileFailure:
         self.trace = trace
 
 
-def _workload_machine(num_cpus: int):
-    """The Base machine, widened when a generated trace needs more CPUs."""
-    import dataclasses
-
-    from repro.common.params import BASE_MACHINE
-    if num_cpus <= BASE_MACHINE.num_cpus:
-        return BASE_MACHINE
-    return dataclasses.replace(BASE_MACHINE, num_cpus=num_cpus)
-
-
 def run_workload_trace(trace: Trace, config_name: str) -> CaseResult:
     """Checked simulation of a synthetic-workload trace.
 
@@ -393,7 +384,7 @@ def run_workload_trace(trace: Trace, config_name: str) -> CaseResult:
     """
     from repro.sim.system import MultiprocessorSystem
     from repro.synthetic.layout import SYNC_PAGE
-    machine = _workload_machine(trace.num_cpus)
+    machine = machine_for(trace.num_cpus)
     config = all_configs(machine)[config_name]
     system = MultiprocessorSystem(trace, config, update_pages=[SYNC_PAGE],
                                   check=True)
@@ -577,7 +568,7 @@ def replay(path: str) -> CaseResult:
     config_name = str(trace.metadata.get(META_CONFIG, "Base"))
     mutant_name = str(trace.metadata.get(META_MUTANT, ""))
     pages = trace.metadata.get(META_UPDATE_PAGES, [UPDATE_PAGE])
-    config = all_configs(_workload_machine(trace.num_cpus))[config_name]
+    config = all_configs(machine_for(trace.num_cpus))[config_name]
     ctx = (MUTANTS[mutant_name][0]() if mutant_name
            else contextlib.nullcontext())
     with ctx:

@@ -9,8 +9,10 @@ Subcommands::
                     [--profile-spec FILE] [--frame-policy P]
                     [--check] [--trace-out t.json] [--trace-limit N]
                     [--profile] [--timeline] [--no-batch]
+                    [--assoc A] [--bus-width B]
     repro sweep     [--samples N] [--families F1,F2] [--configs C1,C2]
                     [--scale S] [--seed N] [--cpus 2,4] [--workers N]
+                    [--assoc A] [--bus-width B]
     repro report    [--scale S] [--only table1,figure3] [--ascii] [-o FILE]
                     [--workers N] [--cache-dir DIR] [--no-cache]
                     [--ledger PATH] [--max-retries N] [--job-timeout S]
@@ -38,10 +40,11 @@ import os
 import sys
 from typing import List, Optional
 
-from repro.common.errors import ProfileError
+from repro.common.errors import ConfigError, ProfileError
+from repro.common.params import machine_for
 from repro.common.types import Mode
 from repro.experiments.artifacts import DEFAULT_CACHE_DIR
-from repro.sim.config import all_configs
+from repro.sim.config import resolve_config
 from repro.sim.system import simulate
 from repro.synthetic.profiles import (PROFILE_ORDER, available_profiles,
                                       generate, load_profile,
@@ -65,14 +68,16 @@ def _save_trace(trace: Trace, path: str, text: bool) -> None:
         npzio.save(trace, path)
 
 
-def _machine_for(num_cpus: int):
-    """The Base machine, widened when a trace needs more CPUs."""
-    import dataclasses
+def _machine_from_args(num_cpus: int, args: argparse.Namespace):
+    """Machine sized to *num_cpus* with the CLI's --assoc/--bus-width.
 
-    from repro.common.params import BASE_MACHINE
-    if num_cpus <= BASE_MACHINE.num_cpus:
-        return BASE_MACHINE
-    return dataclasses.replace(BASE_MACHINE, num_cpus=num_cpus)
+    Sizing the machine to the trace's actual CPU count (rather than
+    keeping the 4-CPU Base for narrower traces) means a 1-2-CPU trace
+    no longer simulates with phantom idle processors.
+    """
+    return machine_for(num_cpus,
+                       assoc=getattr(args, "assoc", 1),
+                       bus_width_bytes=getattr(args, "bus_width", None))
 
 
 def _resolve_workload(args: argparse.Namespace) -> Optional[str]:
@@ -136,9 +141,10 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     # Scheme names are machine-independent: validate them up front, before
     # any (possibly expensive) trace load or generation happens, so a typo
     # fails as fast as an unknown --profile-spec does.
-    if args.config not in all_configs():
-        print(f"unknown config {args.config!r}; choose from "
-              f"{list(all_configs())}", file=sys.stderr)
+    try:
+        resolve_config(args.config)
+    except KeyError as err:
+        print(f"{err.args[0]}", file=sys.stderr)
         return 2
     if os.path.exists(args.input) and not args.profile_spec:
         trace = _load_trace(args.input)
@@ -149,14 +155,17 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             return 2
         trace = generate(name, seed=args.seed, scale=args.scale,
                          frame_policy=args.frame_policy)
-    machine = _machine_for(trace.num_cpus)
-    configs = all_configs(machine)
+    try:
+        machine = _machine_from_args(trace.num_cpus, args)
+    except ConfigError as err:
+        print(f"bad machine: {err}", file=sys.stderr)
+        return 2
     tracer = None
     if args.trace_out or args.profile or args.timeline:
         from repro.obs import Tracer
         tracer = Tracer(max_events=args.trace_limit)
     try:
-        metrics = simulate(trace, configs[args.config],
+        metrics = simulate(trace, resolve_config(args.config, machine),
                            check=True if args.check else None,
                            tracer=tracer,
                            batch=False if args.no_batch else None)
@@ -217,11 +226,20 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print(f"bad sweep: {err}", file=sys.stderr)
         return 2
     config_names = [c.strip() for c in args.configs.split(",") if c.strip()]
-    machine = _machine_for(max(cpus))
-    configs = all_configs(machine)
-    unknown = [c for c in config_names if c not in configs]
+    try:
+        machine = _machine_from_args(max(cpus), args)
+    except ConfigError as err:
+        print(f"bad sweep machine: {err}", file=sys.stderr)
+        return 2
+    unknown = []
+    for c in config_names:
+        try:
+            resolve_config(c, machine)
+        except KeyError:
+            unknown.append(c)
     if unknown:
-        print(f"unknown configs {unknown}; choose from {list(configs)}",
+        print(f"unknown configs {unknown}; registered schemes plus "
+              "'Hyb_UpdN@N<k>' / 'Hyb_Deg@T<k>' are accepted",
               file=sys.stderr)
         return 2
     cache = None if args.no_cache else ArtifactCache(args.cache_dir)
@@ -233,7 +251,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     cells = [(w.name, c, None) for w in workloads for c in config_names]
     runner.run_cells(cells, verbose=not args.quiet)
     name_w = max(len(w.name) for w in workloads)
-    header = (f"{'workload':<{name_w}}  {'config':<10}  "
+    conf_w = max(10, max(len(c) for c in config_names))
+    header = (f"{'workload':<{name_w}}  {'config':<{conf_w}}  "
               f"{'OS time':>12}  {'OS misses':>10}  {'miss rate':>9}")
     lines = [header, "-" * len(header)]
     for w in workloads:
@@ -246,7 +265,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             rel = (f"  ({total / base_total:.2f}x)"
                    if config_name != config_names[0] and base_total else "")
             lines.append(
-                f"{w.name:<{name_w}}  {config_name:<10}  {total:>12,}  "
+                f"{w.name:<{name_w}}  {config_name:<{conf_w}}  {total:>12,}  "
                 f"{metrics.os_read_misses():>10,}  "
                 f"{metrics.data_miss_rate():>8.2%}{rel}")
     report = "\n".join(lines)
@@ -360,6 +379,10 @@ def cmd_submit(args: argparse.Namespace) -> int:
                        if c.strip()]
     body["scales"] = [float(s) for s in args.scales.split(",") if s.strip()]
     body["seed"] = args.seed
+    if args.assoc != 1:
+        body["assoc"] = args.assoc
+    if args.bus_width is not None:
+        body["bus_width"] = args.bus_width
 
     def call(client):
         status = client.submit(body)
@@ -448,6 +471,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-batch", action="store_true",
                    help="force the scalar (one step per record) scheduler; "
                         "equivalent to REPRO_NO_BATCH=1")
+    p.add_argument("--assoc", type=int, default=1,
+                   help="set associativity of all caches (power of two; "
+                        "default 1 = the paper's direct-mapped machine)")
+    p.add_argument("--bus-width", type=int, default=None,
+                   help="bus width in bytes (power of two; default 8)")
     p.set_defaults(fn=cmd_simulate)
 
     p = sub.add_parser("sweep",
@@ -465,6 +493,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--cpus", default="4",
                    help="comma-separated CPU counts to sweep (default 4)")
+    p.add_argument("--assoc", type=int, default=1,
+                   help="set associativity of all caches (power of two; "
+                        "default 1 = the paper's direct-mapped machine)")
+    p.add_argument("--bus-width", type=int, default=None,
+                   help="bus width in bytes (power of two; default 8)")
     p.add_argument("--intensities", default="0.6,1.0",
                    help="comma-separated intensity levels in (0, 1]")
     p.add_argument("--patterns", default="",
@@ -562,6 +595,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="families for --generate (comma-separated)")
     p.add_argument("--cpus", default="",
                    help="CPU counts for --generate (comma-separated)")
+    p.add_argument("--assoc", type=int, default=1,
+                   help="set associativity of all caches (power of two; "
+                        "default 1 = the paper's direct-mapped machine)")
+    p.add_argument("--bus-width", type=int, default=None,
+                   help="bus width in bytes (power of two; default 8)")
     p.add_argument("--wait", action="store_true",
                    help="block until the job reaches a terminal state")
     p.add_argument("--timeout", type=float, default=600.0)

@@ -26,12 +26,33 @@ from repro.common.errors import ConfigError
 from repro.common.units import KB, is_power_of_two
 
 
+#: Widest machine the simulator (and the workload generator) accepts.
+#: The single authority for the bound: :class:`MachineParams`,
+#: ``repro.synthetic.profiles`` and ``repro.synthetic.generator`` all
+#: validate against this constant so the limits cannot drift apart.
+MAX_CPUS = 32
+
+
+def validate_num_cpus(num_cpus: int, context: str = "machine") -> None:
+    """Raise :class:`ConfigError` unless ``1 <= num_cpus <= MAX_CPUS``."""
+    if not 1 <= num_cpus <= MAX_CPUS:
+        raise ConfigError(
+            f"{context}: num_cpus {num_cpus} outside [1, {MAX_CPUS}]")
+
+
 @dataclasses.dataclass(frozen=True)
 class CacheParams:
-    """Geometry of one direct-mapped cache."""
+    """Geometry of one cache array.
+
+    ``assoc`` is the set associativity: 1 (the paper's direct-mapped
+    testbed) or any power of two up to fully associative.  A set-
+    associative cache keeps ``num_sets == num_lines // assoc`` sets of
+    ``assoc`` line frames each, replaced LRU within the set.
+    """
 
     size_bytes: int
     line_bytes: int
+    assoc: int = 1
 
     def __post_init__(self) -> None:
         if not is_power_of_two(self.size_bytes):
@@ -42,15 +63,26 @@ class CacheParams:
             raise ConfigError("cache size must be a multiple of the line size")
         if self.size_bytes < self.line_bytes:
             raise ConfigError("cache smaller than one line")
+        if not is_power_of_two(self.assoc):
+            raise ConfigError(f"associativity {self.assoc} not a power of two")
+        if self.assoc > self.size_bytes // self.line_bytes:
+            raise ConfigError(
+                f"associativity {self.assoc} exceeds the "
+                f"{self.size_bytes // self.line_bytes} line frames")
 
     @property
     def num_lines(self) -> int:
-        """Number of line frames (== number of sets: direct-mapped)."""
+        """Number of line frames (sets x ways)."""
         return self.size_bytes // self.line_bytes
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets (== ``num_lines`` when direct-mapped)."""
+        return self.num_lines // self.assoc
 
     def set_index(self, addr: int) -> int:
         """Set index of byte address *addr*."""
-        return (addr // self.line_bytes) % self.num_lines
+        return (addr // self.line_bytes) % self.num_sets
 
     def line_addr(self, addr: int) -> int:
         """Line-aligned address containing byte address *addr*."""
@@ -136,8 +168,7 @@ class MachineParams:
     barrier_release_cycles: int = 40
 
     def __post_init__(self) -> None:
-        if self.num_cpus < 1:
-            raise ConfigError("need at least one CPU")
+        validate_num_cpus(self.num_cpus)
         if self.l2.line_bytes < self.l1d.line_bytes:
             raise ConfigError("L2 line must be at least as large as L1D line")
         if self.l2.size_bytes < self.l1d.size_bytes:
@@ -175,3 +206,40 @@ class MachineParams:
 
 #: The Base machine of section 2.4.
 BASE_MACHINE = MachineParams()
+
+
+def machine_for(num_cpus: int, *, assoc: int = 1,
+                bus_width_bytes: int | None = None) -> MachineParams:
+    """The Base machine resized to exactly *num_cpus* processors.
+
+    This is the single authority for turning a trace's or sweep's CPU
+    count into a :class:`MachineParams` — the CLI, the sweep service
+    and the conformance fuzzer all use it, so a 2-CPU trace simulates
+    on a 2-CPU machine rather than the 4-CPU Base with phantom idle
+    processors.  *assoc* applies the same set associativity to all
+    three caches; *bus_width_bytes* widens (or narrows) the bus for
+    larger machines.  ``machine_for(4)`` is ``BASE_MACHINE`` itself,
+    preserving every existing simulation fingerprint.
+    """
+    validate_num_cpus(num_cpus)
+    machine = BASE_MACHINE
+    if assoc != 1:
+        machine = dataclasses.replace(
+            machine,
+            l1i=dataclasses.replace(machine.l1i, assoc=assoc),
+            l1d=dataclasses.replace(machine.l1d, assoc=assoc),
+            l2=dataclasses.replace(machine.l2, assoc=assoc),
+        )
+    if (bus_width_bytes is not None
+            and bus_width_bytes != machine.bus.width_bytes):
+        if not is_power_of_two(bus_width_bytes):
+            raise ConfigError(
+                f"bus width {bus_width_bytes} not a power of two")
+        machine = dataclasses.replace(
+            machine,
+            bus=dataclasses.replace(machine.bus,
+                                    width_bytes=bus_width_bytes),
+        )
+    if num_cpus != machine.num_cpus:
+        machine = dataclasses.replace(machine, num_cpus=num_cpus)
+    return machine

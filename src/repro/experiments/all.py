@@ -40,7 +40,9 @@ from repro.analysis.figures import (ALL_FIGURES, FIG2_SYSTEMS, FIG3_SYSTEMS,
                                     FIG4_SYSTEMS, FIG5_SYSTEMS, SWEEP_SYSTEMS)
 from repro.analysis.report import render
 from repro.analysis.tables import (ALL_TABLES, HYBRID_COMPARE_SCHEMES,
-                                   HYBRID_FAMILIES)
+                                   HYBRID_FAMILIES, MACHINE_COMPARE_SCHEMES,
+                                   MACHINE_POINTS, machine_point,
+                                   machine_workload)
 from repro.common.params import BASE_MACHINE
 from repro.common.units import KB
 from repro.experiments.artifacts import DEFAULT_CACHE_DIR, ArtifactCache
@@ -55,8 +57,9 @@ ARTIFACT_ORDER = [
 ]
 
 #: Artifacts ``--only`` accepts beyond the default report: the hybrid
-#: comparison table is opt-in (it is not a paper reproduction).
-EXTRA_ARTIFACTS = ["hybrid"]
+#: comparison table and the machine-shape comparison are opt-in (they
+#: are not paper reproductions).
+EXTRA_ARTIFACTS = ["hybrid", "machines"]
 
 #: L1D sizes (KB) swept by Figure 6 and line sizes (B) swept by Figure 7.
 FIG6_SIZES_KB = (16, 32, 64)
@@ -86,6 +89,12 @@ def artifact_cells(name: str) -> List[Cell]:
         # against Base plus the hybrid comparison ladder.
         return [(w, s, None) for w in HYBRID_FAMILIES
                 for s in ["Base"] + HYBRID_COMPARE_SCHEMES]
+    elif name == "machines":
+        # The machine axis: each point runs its own-sized server
+        # workload on its own machine, Base plus the comparison ladder.
+        return [(machine_workload(cpus), s, machine_point(cpus, assoc, bw))
+                for (_label, cpus, assoc, bw) in MACHINE_POINTS
+                for s in ["Base"] + MACHINE_COMPARE_SCHEMES]
     elif name in ("figure6", "figure7"):
         cells: List[Cell] = []
         if name == "figure6":

@@ -58,6 +58,11 @@ class SweepRequest:
     configs: Tuple[str, ...]
     scales: Tuple[float, ...] = (0.1,)
     seed: int = 1996
+    #: Cache set associativity of the simulated machine (1 = the
+    #: paper's direct-mapped testbed).
+    assoc: int = 1
+    #: Bus width in bytes; ``None`` keeps the Base machine's 8.
+    bus_width: Optional[int] = None
 
     @classmethod
     def from_payload(cls, payload: Any) -> "SweepRequest":
@@ -71,7 +76,7 @@ class SweepRequest:
         if not isinstance(payload, dict):
             raise BadRequestError("body must be a JSON object")
         known = {"workloads", "configs", "scales", "scale", "seed",
-                 "generate"}
+                 "generate", "assoc", "bus_width"}
         unknown = sorted(set(payload) - known)
         if unknown:
             raise BadRequestError(f"unknown fields {unknown}; "
@@ -99,30 +104,55 @@ class SweepRequest:
         seed = payload.get("seed", 1996)
         if not isinstance(seed, int) or isinstance(seed, bool):
             raise BadRequestError("'seed' must be an integer")
+        assoc = payload.get("assoc", 1)
+        if not isinstance(assoc, int) or isinstance(assoc, bool):
+            raise BadRequestError("'assoc' must be an integer")
+        bus_width = payload.get("bus_width")
+        if bus_width is not None and (
+                not isinstance(bus_width, int) or isinstance(bus_width, bool)):
+            raise BadRequestError("'bus_width' must be an integer")
         request = cls(workloads=tuple(workloads), configs=tuple(configs),
-                      scales=scales, seed=seed)
+                      scales=scales, seed=seed, assoc=assoc,
+                      bus_width=bus_width)
         request.validate()
         return request
 
     def validate(self) -> None:
         """Resolve every workload and scheme name, or raise 400."""
-        from repro.sim.config import all_configs
+        from repro.sim.config import all_configs, resolve_config
         from repro.synthetic.profiles import get_profile
         for name in self.workloads:
             try:
                 get_profile(name)
             except (KeyError, ProfileError) as err:
                 raise BadRequestError(f"unknown workload {name!r}: {err}")
-        configs = all_configs()
-        unknown = [c for c in self.configs if c not in configs]
+        unknown = []
+        for c in self.configs:
+            try:
+                resolve_config(c)
+            except KeyError:
+                unknown.append(c)
         if unknown:
             raise BadRequestError(f"unknown configs {unknown}; choose "
-                                  f"from {list(configs)}")
+                                  f"from {list(all_configs())} or a "
+                                  f"'Hyb_UpdN@N<k>' / 'Hyb_Deg@T<k>'")
+        from repro.common.errors import ConfigError
+        try:
+            self.machine()
+        except ConfigError as err:
+            raise BadRequestError(f"bad machine: {err}")
 
     def num_cpus(self) -> int:
         """The widest CPU count any workload in the matrix needs."""
         from repro.synthetic.profiles import get_profile
         return max(get_profile(name).num_cpus for name in self.workloads)
+
+    def machine(self):
+        """The simulated machine the whole matrix runs on: sized to the
+        widest workload, with the request's associativity/bus width."""
+        from repro.common.params import machine_for
+        return machine_for(self.num_cpus(), assoc=self.assoc,
+                           bus_width_bytes=self.bus_width)
 
     def cells(self, scale: float) -> List[Tuple[str, str, None]]:
         """The engine cells of one scale (machine filled in by caller)."""
@@ -132,10 +162,15 @@ class SweepRequest:
         return len(self.workloads) * len(self.configs) * len(self.scales)
 
     def describe(self) -> Dict[str, Any]:
-        return {"workloads": list(self.workloads),
-                "configs": list(self.configs),
-                "scales": list(self.scales), "seed": self.seed,
-                "cells": self.total_cells()}
+        described = {"workloads": list(self.workloads),
+                     "configs": list(self.configs),
+                     "scales": list(self.scales), "seed": self.seed,
+                     "cells": self.total_cells()}
+        if self.assoc != 1:
+            described["assoc"] = self.assoc
+        if self.bus_width is not None:
+            described["bus_width"] = self.bus_width
+        return described
 
 
 def _str_list(payload: Dict[str, Any], field: str) -> Tuple[str, ...]:

@@ -28,11 +28,15 @@ The derivation pipeline mirrors the paper's methodology:
 Profiling runs (and therefore the derived artifacts) always use the
 runner's *own* machine, even when :meth:`run` is asked to simulate a
 machine variant: Figures 6 and 7 sweep the hardware under a kernel that
-was tuned on the Base machine.
+was tuned on the Base machine.  The one exception is a workload wider
+than the runner's machine (e.g. a 16-CPU ``gen:`` profile under a
+4-CPU runner), whose profiling runs widen the CPU count — and nothing
+else — so the trace fits.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import tempfile
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -43,7 +47,7 @@ from repro.experiments.faults import RetryPolicy
 from repro.optim.hotspots import HotspotPrefetcher, find_hotspots
 from repro.optim.privatize import privatize_and_relocate
 from repro.optim.update_select import UpdateSelection, select_update_core
-from repro.sim.config import SystemConfig, all_configs, standard_configs
+from repro.sim.config import SystemConfig, resolve_config, standard_configs
 from repro.sim.metrics import SystemMetrics
 from repro.sim.system import simulate
 from repro.synthetic.profiles import generate
@@ -113,6 +117,15 @@ class ExperimentRunner:
         return stage_key(stage, self.scale, self.seed, workload,
                          machine=machine, extra=extra or None)
 
+    def _profiling_machine(self, workload: str) -> MachineParams:
+        """The machine derivation profiling runs use: the runner's own,
+        with only the CPU count widened when *workload* needs more."""
+        from repro.synthetic.profiles import get_profile
+        cpus = get_profile(workload).num_cpus
+        if cpus <= self.machine.num_cpus:
+            return self.machine
+        return dataclasses.replace(self.machine, num_cpus=cpus)
+
     # ------------------------------------------------------------------
     # Cached artifacts
     # ------------------------------------------------------------------
@@ -153,7 +166,8 @@ class ExperimentRunner:
             if self.cache is not None:
                 selection = self.cache.load_update_selection(key)
             if selection is None:
-                base = self.run(workload, "Base")
+                base = self.run(workload, "Base",
+                                machine=self._profiling_machine(workload))
                 selection = select_update_core(
                     base, self.trace(workload).symbols,
                     page_bytes=self.machine.page_bytes)
@@ -170,7 +184,8 @@ class ExperimentRunner:
             if self.cache is not None:
                 pcs = self.cache.load_hotspots(key)
             if pcs is None:
-                profile = self.run(workload, "BCoh_RelUp")
+                profile = self.run(workload, "BCoh_RelUp",
+                                   machine=self._profiling_machine(workload))
                 pcs = find_hotspots(profile, NUM_HOTSPOTS)
                 if self.cache is not None:
                     self.cache.store_hotspots(key, pcs)
@@ -218,7 +233,7 @@ class ExperimentRunner:
         key = SimKey.of(workload, config_name, machine)
         if key in self._metrics:
             return self._metrics[key]
-        config = all_configs(machine)[config_name]
+        config = resolve_config(config_name, machine)
         metrics = self._run_config(workload, config)
         self._metrics[key] = metrics
         return metrics

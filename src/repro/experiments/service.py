@@ -49,7 +49,6 @@ status`` / ``repro cancel`` or :class:`SweepClient`.
 
 from __future__ import annotations
 
-import dataclasses
 import json
 import os
 import socket
@@ -63,7 +62,6 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.common.errors import (JobFailedError, ReproError,
                                  SweepCancelledError)
-from repro.common.params import BASE_MACHINE, MachineParams
 from repro.experiments.artifacts import ArtifactCache, SimKey
 from repro.experiments.faults import RetryPolicy
 from repro.experiments.ledger import read_events
@@ -74,13 +72,6 @@ from repro.experiments.queue import (TERMINAL, BadRequestError, JobQueue,
 #: How long the dispatcher blocks waiting for a submission before it
 #: rechecks the shutdown flag.
 _DISPATCH_POLL = 0.2
-
-
-def _machine_for(num_cpus: int) -> MachineParams:
-    """The Base machine, widened when the matrix needs more CPUs."""
-    if num_cpus <= BASE_MACHINE.num_cpus:
-        return BASE_MACHINE
-    return dataclasses.replace(BASE_MACHINE, num_cpus=num_cpus)
 
 
 class SweepService:
@@ -183,7 +174,7 @@ class SweepService:
         request = job.request
         job.ledger_path = os.path.join(self.ledger_dir,
                                        f"{job.job_id}.jsonl")
-        machine = _machine_for(request.num_cpus())
+        machine = request.machine()
         self._log(f"[service] {job.job_id}: {request.total_cells()} cells "
                   f"({len(request.workloads)} workloads x "
                   f"{len(request.configs)} configs x "

@@ -1,9 +1,17 @@
-"""Direct-mapped cache arrays.
+"""Cache arrays: direct-mapped (the paper's testbed) and LRU set-associative.
 
-All three caches of the simulated machine are direct-mapped, so a cache is
-just a tag (and, for the L2, a MESI state) per set.  Timing lives in the
-hierarchy/coherence layers; this module only answers presence questions and
-performs fills, evictions and invalidations.
+The paper's machine is direct-mapped everywhere, so the original model is
+just a tag (and, for the L2, a MESI state) per set.  The set-associative
+variants generalize that to ``assoc`` ways per set with true-LRU
+replacement, sharing the public surface (``tags``/``tags_np`` mirrors,
+``present``/``fill``/``invalidate``/``resident_lines``) so the hierarchy,
+coherence controller and conformance checker work unchanged.  Timing lives
+in the hierarchy/coherence layers; this module only answers presence
+questions and performs fills, evictions and invalidations.
+
+Use :func:`make_cache`/:func:`make_coherent_cache` to pick the class from
+``CacheParams.assoc``; 1-way parameters yield the direct-mapped classes so
+the paper configuration keeps its exact fast-path behaviour.
 """
 
 from __future__ import annotations
@@ -32,19 +40,32 @@ class DirectMappedCache:
     invalidation paths.
     """
 
-    __slots__ = ("params", "line_bytes", "num_lines", "tags", "tags_np",
-                 "fills", "evictions")
+    __slots__ = ("params", "line_bytes", "num_lines", "num_sets", "assoc",
+                 "tags", "tags_np", "fills", "evictions")
 
     def __init__(self, params: CacheParams) -> None:
+        if params.assoc != 1:
+            raise ValueError(
+                f"DirectMappedCache needs 1-way params, got {params.assoc}-way"
+                " (use make_cache/make_coherent_cache)")
         self.params = params
         self.line_bytes = params.line_bytes
         self.num_lines = params.num_lines
+        self.num_sets = params.num_lines
+        self.assoc = 1
         #: Line-aligned address held by each set, or -1 when empty.
         self.tags: List[int] = [-1] * self.num_lines
         #: Vectorized mirror of :attr:`tags` (batched stepping mode).
         self.tags_np = np.full(self.num_lines, -1, dtype=np.int64)
         self.fills = 0
         self.evictions = 0
+
+    def touch(self, addr: int) -> None:
+        """Record a use of the line containing *addr* for replacement.
+
+        Direct-mapped replacement has no recency state, so this is a
+        no-op; the set-associative subclass promotes the line to MRU.
+        """
 
     def line_addr(self, addr: int) -> int:
         """Line-aligned address containing *addr*."""
@@ -172,3 +193,199 @@ class CoherentCache(DirectMappedCache):
             self.states_np[idx] = 0
             return True
         return False
+
+
+class SetAssociativeCache(DirectMappedCache):
+    """Tag-only N-way set-associative cache with true-LRU replacement.
+
+    The tag array is flat and set-major: way ``w`` of set ``s`` lives at
+    index ``s * assoc + w``, so ``tags``/``tags_np`` keep the same
+    "mutated in place, bound references never go stale" contract as the
+    direct-mapped class and :meth:`resident_lines` needs no override.
+    Recency is a per-frame stamp from a monotonic use counter; the LRU
+    victim is the minimum-stamp way of the set.  :meth:`present` stays a
+    pure query (the conformance checker probes it freely); recency moves
+    only through :meth:`touch` and the fill methods.
+    """
+
+    __slots__ = ("_stamps", "_tick")
+
+    def __init__(self, params: CacheParams) -> None:
+        if params.assoc < 2:
+            raise ValueError("SetAssociativeCache needs assoc >= 2 "
+                             "(use make_cache for 1-way params)")
+        # Skip the direct-mapped guard but reuse its attribute setup.
+        self.params = params
+        self.line_bytes = params.line_bytes
+        self.num_lines = params.num_lines
+        self.num_sets = params.num_sets
+        self.assoc = params.assoc
+        self.tags = [-1] * self.num_lines
+        self.tags_np = np.full(self.num_lines, -1, dtype=np.int64)
+        self.fills = 0
+        self.evictions = 0
+        #: Use stamp per line frame; larger == more recently used.
+        self._stamps = [0] * self.num_lines
+        self._tick = 0
+
+    def set_index(self, addr: int) -> int:
+        """Set index of *addr*."""
+        return (addr // self.line_bytes) % self.num_sets
+
+    def _find(self, line: int) -> int:
+        """Flat frame index holding *line*, or -1."""
+        base = ((line // self.line_bytes) % self.num_sets) * self.assoc
+        tags = self.tags
+        for idx in range(base, base + self.assoc):
+            if tags[idx] == line:
+                return idx
+        return -1
+
+    def _victim(self, base: int) -> int:
+        """Frame to replace in the set starting at *base*: first empty
+        way, else the LRU (minimum-stamp) way."""
+        tags = self.tags
+        stamps = self._stamps
+        victim = base
+        victim_stamp = stamps[base]
+        for idx in range(base, base + self.assoc):
+            if tags[idx] == -1:
+                return idx
+            if stamps[idx] < victim_stamp:
+                victim = idx
+                victim_stamp = stamps[idx]
+        return victim
+
+    def present(self, addr: int) -> bool:
+        return self._find(addr - addr % self.line_bytes) != -1
+
+    def touch(self, addr: int) -> None:
+        idx = self._find(addr - addr % self.line_bytes)
+        if idx != -1:
+            self._tick += 1
+            self._stamps[idx] = self._tick
+
+    def fill(self, addr: int) -> int:
+        line = self.line_addr(addr)
+        idx = self._find(line)
+        self._tick += 1
+        if idx != -1:
+            self._stamps[idx] = self._tick
+            return -1
+        base = ((line // self.line_bytes) % self.num_sets) * self.assoc
+        idx = self._victim(base)
+        old = self.tags[idx]
+        self.tags[idx] = line
+        self.tags_np[idx] = line
+        self._stamps[idx] = self._tick
+        self.fills += 1
+        if old != -1:
+            self.evictions += 1
+            return old
+        return -1
+
+    def invalidate(self, addr: int) -> bool:
+        idx = self._find(self.line_addr(addr))
+        if idx != -1:
+            self.tags[idx] = -1
+            self.tags_np[idx] = -1
+            self._stamps[idx] = 0
+            return True
+        return False
+
+
+class CoherentSetAssociativeCache(SetAssociativeCache):
+    """Set-associative cache with a MESI state per frame (L2 variant).
+
+    Same ``states``/``states_np`` mirror contract as
+    :class:`CoherentCache`; the coherence controller only uses the
+    address-based API (``state_of``/``set_state``/``fill_state``/
+    ``resident_lines``), which this class provides per-way.
+    """
+
+    __slots__ = ("states", "states_np")
+
+    def __init__(self, params: CacheParams) -> None:
+        super().__init__(params)
+        self.states: List[LineState] = [LineState.INVALID] * self.num_lines
+        self.states_np = np.zeros(self.num_lines, dtype=np.int8)
+
+    def state_of(self, addr: int) -> LineState:
+        """MESI state of the line containing *addr* (INVALID if absent)."""
+        idx = self._find(addr - addr % self.line_bytes)
+        if idx != -1:
+            return self.states[idx]
+        return LineState.INVALID
+
+    def set_state(self, addr: int, state: LineState) -> None:
+        """Set the MESI state of a resident line."""
+        line = self.line_addr(addr)
+        idx = self._find(line)
+        if idx == -1:
+            raise KeyError(f"line {line:#x} not resident")
+        self.states[idx] = state
+        self.states_np[idx] = state
+        if state == LineState.INVALID:
+            self.tags[idx] = -1
+            self.tags_np[idx] = -1
+            self._stamps[idx] = 0
+
+    def fill_state(self, addr: int, state: LineState) -> Tuple[int, Optional[LineState]]:
+        """Install the line containing *addr* in *state*.
+
+        Returns ``(evicted_line_addr, evicted_state)`` —
+        ``(-1, None)`` when nothing was displaced.
+        """
+        line = self.line_addr(addr)
+        idx = self._find(line)
+        self._tick += 1
+        if idx != -1:
+            self.states[idx] = state
+            self.states_np[idx] = state
+            self._stamps[idx] = self._tick
+            return -1, None
+        base = ((line // self.line_bytes) % self.num_sets) * self.assoc
+        idx = self._victim(base)
+        old_tag = self.tags[idx]
+        old_state = self.states[idx]
+        self.tags[idx] = line
+        self.tags_np[idx] = line
+        self.states[idx] = state
+        self.states_np[idx] = state
+        self._stamps[idx] = self._tick
+        self.fills += 1
+        if old_tag == -1:
+            return -1, None
+        self.evictions += 1
+        return old_tag, old_state
+
+    def invalidate(self, addr: int) -> bool:
+        idx = self._find(self.line_addr(addr))
+        if idx != -1:
+            self.tags[idx] = -1
+            self.tags_np[idx] = -1
+            self.states[idx] = LineState.INVALID
+            self.states_np[idx] = 0
+            self._stamps[idx] = 0
+            return True
+        return False
+
+
+def make_cache(params: CacheParams) -> DirectMappedCache:
+    """Tag-only cache of the organization *params* asks for."""
+    if params.assoc == 1:
+        return DirectMappedCache(params)
+    return SetAssociativeCache(params)
+
+
+def make_coherent_cache(
+        params: CacheParams) -> "CoherentCache | CoherentSetAssociativeCache":
+    """MESI-state-tracking cache of the organization *params* asks for.
+
+    Note the return types share no coherent base class — callers rely on
+    the duck-typed address API (``state_of``/``set_state``/``fill_state``),
+    which both classes implement.
+    """
+    if params.assoc == 1:
+        return CoherentCache(params)
+    return CoherentSetAssociativeCache(params)

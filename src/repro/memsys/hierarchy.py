@@ -23,7 +23,7 @@ from typing import Optional
 
 from repro.common.params import MachineParams
 from repro.memsys.bus import Bus, BusOp
-from repro.memsys.cache import CoherentCache, DirectMappedCache
+from repro.memsys.cache import make_cache, make_coherent_cache
 from repro.memsys.coherence import CoherenceController
 from repro.memsys.prefetch import PendingFills, PrefetchLineBuffer
 from repro.memsys.sink import MemorySink, MissFlags, NO_FLAGS
@@ -71,9 +71,9 @@ class CpuMemorySystem:
         self.bus = bus
         self.controller = controller
         self.sink = sink if sink is not None else MemorySink()
-        self.l1i = DirectMappedCache(machine.l1i)
-        self.l1d = DirectMappedCache(machine.l1d)
-        self.l2 = CoherentCache(machine.l2)
+        self.l1i = make_cache(machine.l1i)
+        self.l1d = make_cache(machine.l1d)
+        self.l2 = make_coherent_cache(machine.l2)
         wb = machine.write_buffers
         self.wb1 = TimedWriteBuffer(wb.l1_depth, "wb1")
         self.wb2 = TimedWriteBuffer(wb.l2_depth, "wb2")
@@ -89,6 +89,12 @@ class CpuMemorySystem:
         #: Set by the processor while a block operation is in progress; the
         #: sink uses it to distinguish *inside* displacement misses.
         self.in_blockop = False
+        #: LRU-promotion hooks, ``None`` on direct-mapped caches where
+        #: ``touch`` is a no-op: an attribute test per hit is cheaper
+        #: than a no-op method call on the miss-handling paths.
+        self._touch_l1i = self.l1i.touch if machine.l1i.assoc != 1 else None
+        self._touch_l1d = self.l1d.touch if machine.l1d.assoc != 1 else None
+        self._touch_l2 = self.l2.touch if machine.l2.assoc != 1 else None
         self.cpu_id = controller.attach(self.l1i, self.l1d, self.l2, self.sink)
 
     # ------------------------------------------------------------------
@@ -106,6 +112,8 @@ class CpuMemorySystem:
                         kind: BusOp = BusOp.READ_MEM) -> "tuple[int, str]":
         """Bring *addr* to readable state at L2; return (ready, level)."""
         if self.l2.state_of(addr) != LineState.INVALID:
+            if self._touch_l2 is not None:
+                self._touch_l2(addr)
             return t + self.machine.l2_hit_cycles, LEVEL_L2
         ready = self.controller.fetch_shared(self.cpu_id, addr, t, kind)
         return ready, LEVEL_MEM
@@ -117,6 +125,8 @@ class CpuMemorySystem:
         """Demand data read at time *t*."""
         line = self.l1d.line_addr(addr)
         if self.l1d.present(addr):
+            if self._touch_l1d is not None:
+                self._touch_l1d(addr)
             remaining = self.pending.consume(line, t)
             if remaining:
                 # Prefetch in flight: partially hidden; the paper still
@@ -139,6 +149,8 @@ class CpuMemorySystem:
             # processor does not wait for it; ownership is acquired on the
             # drain path below.
             self._l1_fill(addr)
+        elif self._touch_l1d is not None:
+            self._touch_l1d(addr)
         insert_t, stall = self.wb1.enqueue(t, lambda s: self._drain_word(addr, s))
         return AccessResult(insert_t + 1, stall=stall, miss=not hit,
                             level=LEVEL_WB)
@@ -152,6 +164,17 @@ class CpuMemorySystem:
         Must stay behaviourally identical to :meth:`write`.
         """
         l1d = self.l1d
+        if l1d.assoc != 1:
+            # Set-associative machines skip the direct-indexed probes and
+            # the fused owned-L2 drain below; replacement bookkeeping goes
+            # through the cache's own API.
+            if l1d.present(addr):
+                l1d.touch(addr)
+            else:
+                self._l1_fill(addr)
+            insert_t, stall = self.wb1.enqueue(
+                t, lambda s: self._drain_word(addr, s))
+            return insert_t + 1, stall
         line_bytes = l1d.line_bytes
         line = addr - addr % line_bytes
         if l1d.tags[(line // line_bytes) % l1d.num_lines] != line:
@@ -171,7 +194,7 @@ class CpuMemorySystem:
         l2_bytes = l2.line_bytes
         l2line = addr - addr % l2_bytes
         idx = (l2line // l2_bytes) % l2.num_lines
-        if l2.tags[idx] == l2line:
+        if l2.assoc == 1 and l2.tags[idx] == l2line:
             state = l2.states[idx]
             if state is LineState.MODIFIED or state is LineState.EXCLUSIVE:
                 wb1 = self.wb1
@@ -202,15 +225,23 @@ class CpuMemorySystem:
     def _drain_word(self, addr: int, start: int) -> int:
         """Retire one word from WB1 into the L2 / bus.  Returns completion."""
         # Owned line in the L2 (the common case): one fused tag/state
-        # probe instead of a state_of + set_state pair.
+        # probe instead of a state_of + set_state pair.  Set-associative
+        # L2s take the API path so the LRU stamp moves with the drain.
         l2 = self.l2
-        line = addr - addr % l2.line_bytes
-        idx = (line // l2.line_bytes) % l2.num_lines
-        if l2.tags[idx] == line:
-            state = l2.states[idx]
+        if l2.assoc == 1:
+            line = addr - addr % l2.line_bytes
+            idx = (line // l2.line_bytes) % l2.num_lines
+            if l2.tags[idx] == line:
+                state = l2.states[idx]
+                if state is LineState.MODIFIED or state is LineState.EXCLUSIVE:
+                    l2.states[idx] = LineState.MODIFIED
+                    l2.states_np[idx] = 3
+                    return start + self.machine.write_buffers.l1_drain_cycles
+        else:
+            state = l2.state_of(addr)
             if state is LineState.MODIFIED or state is LineState.EXCLUSIVE:
-                l2.states[idx] = LineState.MODIFIED
-                l2.states_np[idx] = 3
+                l2.set_state(addr, LineState.MODIFIED)
+                l2.touch(addr)
                 return start + self.machine.write_buffers.l1_drain_cycles
         state = self.l2.state_of(addr)
         controller = self.controller
@@ -236,20 +267,26 @@ class CpuMemorySystem:
         line = pc - pc % line_bytes
         end = pc + 4 * icount
         # Fast path: the whole fetch sits in one resident line — by far
-        # the common case for short basic blocks.
-        if (end <= line + line_bytes
+        # the common case for short basic blocks.  Direct-mapped only:
+        # the one-probe trick needs the tag array indexed by set, and a
+        # set-associative L1I must promote the line it hits.
+        if (l1i.assoc == 1 and end <= line + line_bytes
                 and l1i.tags[(line // line_bytes) % l1i.num_lines] == line):
             return 0
         stall = 0
         while line < end:
             if not l1i.present(line):
                 if self.l2.state_of(line) != LineState.INVALID:
+                    if self._touch_l2 is not None:
+                        self._touch_l2(line)
                     stall += self.machine.l2_hit_cycles - 1
                 else:
                     ready = self.controller.fetch_shared(
                         self.cpu_id, line, t + stall, BusOp.READ_MEM)
                     stall += ready - (t + stall)
                 l1i.fill(line)
+            elif self._touch_l1i is not None:
+                self._touch_l1i(line)
             line += line_bytes
         return stall
 
@@ -276,6 +313,8 @@ class CpuMemorySystem:
         if self.l1d.present(addr) or self.pref_buffer.contains(line):
             return
         if self.l2.state_of(addr) != LineState.INVALID:
+            if self._touch_l2 is not None:
+                self._touch_l2(addr)
             ready = t + self.machine.l2_hit_cycles
         else:
             ready = self.controller.read_nofill(self.cpu_id, addr, t,
@@ -313,6 +352,8 @@ class CpuMemorySystem:
         # New source line: fetch into the line register, never the caches.
         flags = self.sink.consume_miss_flags(line)
         if self.l2.state_of(addr) != LineState.INVALID:
+            if self._touch_l2 is not None:
+                self._touch_l2(addr)
             ready = t + self.machine.l2_hit_cycles
             level = LEVEL_L2
         else:

@@ -143,3 +143,45 @@ def all_configs(machine: MachineParams = BASE_MACHINE) -> Dict[str, SystemConfig
     configs = standard_configs(machine)
     configs.update(hybrid_configs(machine))
     return configs
+
+
+def resolve_config(name: str,
+                   machine: MachineParams = BASE_MACHINE) -> SystemConfig:
+    """Resolve *name* — a registered scheme or a knob-parameterized one.
+
+    Beyond the eleven :func:`all_configs` names, two parameterized forms
+    sweep the adaptive knobs per machine point without growing the
+    registry (whose exact contents tests pin):
+
+    * ``Hyb_UpdN@N<k>`` — competitive update with an update budget of
+      ``k`` per remote copy (``Hyb_UpdN@N4`` == ``Hyb_UpdN``).
+    * ``Hyb_Deg@T<k>`` — sharing-degree switching with threshold ``k``
+      (``Hyb_Deg@T2`` == ``Hyb_Deg``).
+
+    The default-knob spellings resolve to the *canonical* names so they
+    share simulation-cache identity with the registered configs.
+    Raises :class:`KeyError` with the available names otherwise.
+    """
+    configs = all_configs(machine)
+    if name in configs:
+        return configs[name]
+    base, sep, knob = name.partition("@")
+    if sep and base in ("Hyb_UpdN", "Hyb_Deg"):
+        prefix = "N" if base == "Hyb_UpdN" else "T"
+        if knob.startswith(prefix) and knob[len(prefix):].isdigit():
+            value = int(knob[len(prefix):])
+            config = configs[base]
+            if base == "Hyb_UpdN":
+                if value == config.adaptive_n:
+                    return config
+                return dataclasses.replace(config, name=name,
+                                           adaptive_n=value)
+            if value < 1:
+                raise KeyError(f"{name!r}: degree threshold must be >= 1")
+            if value == config.degree_threshold:
+                return config
+            return dataclasses.replace(config, name=name,
+                                       degree_threshold=value)
+    raise KeyError(
+        f"unknown config {name!r}; choose from {list(configs)} or a "
+        f"parameterized 'Hyb_UpdN@N<k>' / 'Hyb_Deg@T<k>'")

@@ -147,6 +147,19 @@ class Processor:
         self._l1i_tags = mem.l1i.tags
         self._l1i_line_bytes = mem.l1i.line_bytes
         self._l1i_sets = mem.l1i.num_lines
+        # Set-associative L1s cannot use the direct-indexed inline probes
+        # in step() (the flat set-major tag array would alias, and a hit
+        # must promote the line's LRU stamp).  Bind a one-entry sentinel
+        # array holding -2 — no line address is negative, so the probe
+        # always misses and every access routes through mem.read/ifetch,
+        # which do the per-way lookup and the touch.  This also keeps
+        # checker-armed and unarmed runs on the same touch sequence.
+        if mem.l1d.assoc != 1:
+            self._l1_tags = [-2]
+            self._l1_sets = 1
+        if mem.l1i.assoc != 1:
+            self._l1i_tags = [-2]
+            self._l1i_sets = 1
         self._l1_hit = mem.machine.l1_hit_cycles
         self._pending_ready = mem.pending.ready
         self._time = metrics.time

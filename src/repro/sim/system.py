@@ -144,6 +144,12 @@ class MultiprocessorSystem:
             return False
         if self.checker is not None or self.tracer is not None:
             return False
+        # The batched tiers index tags_np/states_np with direct-mapped
+        # geometry; any set-associative cache forces the scalar loop.
+        machine = self.config.machine
+        if (machine.l1i.assoc != 1 or machine.l1d.assoc != 1
+                or machine.l2.assoc != 1):
+            return False
         # Instance-level step wrappers (repro.sim.timeline, tests) see
         # every record; batching would skip past them.  A substituted
         # pending-fill view (``_AlwaysPending`` in repro.check and the

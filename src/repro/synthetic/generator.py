@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Iterable, List, Optional, Tuple
 
 from repro.common.errors import ProfileError
+from repro.common.params import MAX_CPUS
 from repro.common.rng import derive_seed
 from repro.synthetic.profiles import (BUILTIN_PROFILES, PATTERNS,
                                       WorkloadProfile, compile_profile)
@@ -72,8 +73,9 @@ class SweepSpec:
                 raise ProfileError(f"unknown sweep pattern {pattern!r}; "
                                    f"choose from {PATTERNS}")
         for cpus in self.num_cpus:
-            if not 1 <= cpus <= 32:
-                raise ProfileError(f"sweep num_cpus {cpus} outside [1, 32]")
+            if not 1 <= cpus <= MAX_CPUS:
+                raise ProfileError(
+                    f"sweep num_cpus {cpus} outside [1, {MAX_CPUS}]")
         for level in self.intensities:
             if not 0.05 <= level <= 1.0:
                 raise ProfileError(

@@ -40,6 +40,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple, Union
 
 from repro.common.errors import ProfileError
+from repro.common.params import MAX_CPUS
 from repro.common.rng import RngStream
 from repro.synthetic import apps, services
 from repro.synthetic.kernel import Kernel, Process
@@ -144,8 +145,8 @@ class WorkloadProfile:
             raise bad("pattern", f"{self.pattern!r} not in {PATTERNS}")
         if self.app not in APP_CHUNKS:
             raise bad("app", f"{self.app!r} not in {sorted(APP_CHUNKS)}")
-        if not 1 <= self.num_cpus <= 32:
-            raise bad("num_cpus", f"{self.num_cpus} outside [1, 32]")
+        if not 1 <= self.num_cpus <= MAX_CPUS:
+            raise bad("num_cpus", f"{self.num_cpus} outside [1, {MAX_CPUS}]")
         if self.rounds < 1:
             raise bad("rounds", f"{self.rounds} < 1")
         if not 0 <= self.barrier_phases <= 4:

@@ -17,7 +17,7 @@ def test_artifact_order_covers_everything():
         "table1", "table2", "table3", "table4", "table5"}
     assert {n for n in ARTIFACT_ORDER if n.startswith("figure")} == {
         f"figure{i}" for i in range(1, 8)}
-    assert EXTRA_ARTIFACTS == ["hybrid"]
+    assert EXTRA_ARTIFACTS == ["hybrid", "machines"]
 
 
 def test_hybrid_artifact_has_parallel_cells():
